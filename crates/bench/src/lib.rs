@@ -1,0 +1,6 @@
+//! Criterion benchmark harness for the nfsperf workspace.
+//!
+//! The actual benchmarks live in `benches/`; this library only re-exports
+//! the experiment runners so the bench targets share one entry point.
+
+pub use nfsperf_experiments as experiments;

@@ -1,0 +1,407 @@
+//! The paper's benchmark: Bonnie's block sequential write test, extended
+//! as described in §2.3.
+//!
+//! The benchmark writes 8 KB chunks into a fresh file and reports three
+//! throughput numbers — after the writes, after the flush, and after the
+//! close — because NFS flushes completely before last close while local
+//! file systems may not. It also records *actual* per-call `write()`
+//! latency rather than averages, which is what exposes the jitter and the
+//! periodic spikes of Figures 2–4.
+
+pub mod stats;
+
+pub use stats::{decile_means, mean, mean_excluding, spike_count, trend_ratio};
+
+use nfsperf_kernel::SimFile;
+use nfsperf_sim::{Histogram, Sim, SimDuration, SimTime};
+
+/// Bonnie's block size: 8 KB chunks.
+pub const CHUNK: u64 = 8192;
+
+/// Result of one sequential-write benchmark run.
+#[derive(Debug, Clone)]
+pub struct BonnieReport {
+    /// Bytes written.
+    pub file_size: u64,
+    /// Write chunk size used.
+    pub chunk: u64,
+    /// Actual latency of every `write()` call, in order.
+    pub latencies: Vec<SimDuration>,
+    /// Time from start until the last `write()` returned.
+    pub write_elapsed: SimDuration,
+    /// Time from start until `fsync()` returned.
+    pub flush_elapsed: SimDuration,
+    /// Time from start until `close()` returned.
+    pub close_elapsed: SimDuration,
+}
+
+impl BonnieReport {
+    /// Throughput counting only the writes, MB/s (decimal, as the paper
+    /// reports).
+    pub fn write_mbps(&self) -> f64 {
+        nfsperf_sim::mbps(self.file_size, self.write_elapsed)
+    }
+
+    /// Throughput through the flush, MB/s.
+    pub fn flush_mbps(&self) -> f64 {
+        nfsperf_sim::mbps(self.file_size, self.flush_elapsed)
+    }
+
+    /// Throughput through the close, MB/s.
+    pub fn close_mbps(&self) -> f64 {
+        nfsperf_sim::mbps(self.file_size, self.close_elapsed)
+    }
+
+    /// Mean `write()` latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        mean(&self.latencies)
+    }
+
+    /// Mean latency excluding calls above `threshold` — the paper's
+    /// "excluding the 37 calls exceeding 1 millisecond".
+    pub fn mean_latency_excluding(&self, threshold: SimDuration) -> SimDuration {
+        mean_excluding(&self.latencies, threshold)
+    }
+
+    /// The paper's Figure 5/6 histogram: 60 µs bins from 0 to 0.48 ms
+    /// plus overflow.
+    pub fn latency_histogram(&self) -> Histogram {
+        Histogram::from_samples(SimDuration::from_micros(60), 8, &self.latencies)
+    }
+
+    /// Number of calls slower than `threshold`.
+    pub fn spikes(&self, threshold: SimDuration) -> usize {
+        spike_count(&self.latencies, threshold)
+    }
+}
+
+/// Options for a benchmark run.
+#[derive(Debug, Clone)]
+pub struct BonnieConfig {
+    /// Total bytes to write.
+    pub file_size: u64,
+    /// Chunk per `write()` call.
+    pub chunk: u64,
+    /// Record per-call latencies (disable for huge sweep runs).
+    pub record_latencies: bool,
+}
+
+impl BonnieConfig {
+    /// A run of `file_size` bytes with the paper's 8 KB chunks.
+    pub fn new(file_size: u64) -> BonnieConfig {
+        BonnieConfig {
+            file_size,
+            chunk: CHUNK,
+            record_latencies: true,
+        }
+    }
+}
+
+/// Runs the block sequential write benchmark on an open file.
+///
+/// The file should be fresh (the benchmark writes from offset zero), so
+/// no read-modify-write happens on the client — writing into a fresh
+/// file "narrows our focus to write code pathways" (§2.3).
+pub async fn run<F: SimFile>(sim: &Sim, file: &F, config: &BonnieConfig) -> BonnieReport {
+    let started: SimTime = sim.now();
+    let mut latencies = if config.record_latencies {
+        Vec::with_capacity((config.file_size / config.chunk) as usize)
+    } else {
+        Vec::new()
+    };
+    let mut offset = 0;
+    while offset < config.file_size {
+        let len = config.chunk.min(config.file_size - offset);
+        let t0 = sim.now();
+        file.write(offset, len).await.expect("benchmark write");
+        if config.record_latencies {
+            latencies.push(sim.now().since(t0));
+        }
+        offset += len;
+    }
+    let write_elapsed = sim.now().since(started);
+    file.fsync().await.expect("benchmark fsync");
+    let flush_elapsed = sim.now().since(started);
+    file.close().await.expect("benchmark close");
+    let close_elapsed = sim.now().since(started);
+    BonnieReport {
+        file_size: config.file_size,
+        chunk: config.chunk,
+        latencies,
+        write_elapsed,
+        flush_elapsed,
+        close_elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_kernel::VfsResult;
+    use std::cell::Cell;
+
+    /// A synthetic file with fixed write/fsync costs for testing the
+    /// harness itself.
+    struct FakeFile {
+        sim: Sim,
+        write_cost: SimDuration,
+        fsync_cost: SimDuration,
+        written: Cell<u64>,
+    }
+
+    impl SimFile for FakeFile {
+        async fn write(&self, _offset: u64, len: u64) -> VfsResult<u64> {
+            self.sim.sleep(self.write_cost).await;
+            self.written.set(self.written.get() + len);
+            Ok(len)
+        }
+        async fn fsync(&self) -> VfsResult<()> {
+            self.sim.sleep(self.fsync_cost).await;
+            Ok(())
+        }
+        async fn close(&self) -> VfsResult<()> {
+            Ok(())
+        }
+        fn bytes_written(&self) -> u64 {
+            self.written.get()
+        }
+    }
+
+    #[test]
+    fn throughput_triple_ordering() {
+        let sim = Sim::new();
+        let file = FakeFile {
+            sim: sim.clone(),
+            write_cost: SimDuration::from_micros(80),
+            fsync_cost: SimDuration::from_millis(10),
+            written: Cell::new(0),
+        };
+        let s = sim.clone();
+        let report =
+            sim.run_until(async move { run(&s, &file, &BonnieConfig::new(1 << 20)).await });
+        assert_eq!(report.latencies.len(), 128);
+        // 128 writes x 80us = 10.24ms; 1MB / 10.24ms ≈ 102 MB/s.
+        assert!(
+            (report.write_mbps() - 102.4).abs() < 3.0,
+            "{}",
+            report.write_mbps()
+        );
+        // Flush adds 10ms: throughput halves.
+        assert!(report.flush_mbps() < report.write_mbps());
+        // Close is free here: same as flush.
+        assert!((report.close_mbps() - report.flush_mbps()).abs() < 1e-6);
+        assert_eq!(report.file_size, 1 << 20);
+    }
+
+    #[test]
+    fn latencies_recorded_per_call() {
+        let sim = Sim::new();
+        let file = FakeFile {
+            sim: sim.clone(),
+            write_cost: SimDuration::from_micros(100),
+            fsync_cost: SimDuration::ZERO,
+            written: Cell::new(0),
+        };
+        let s = sim.clone();
+        let report =
+            sim.run_until(async move { run(&s, &file, &BonnieConfig::new(64 * 8192)).await });
+        assert_eq!(report.latencies.len(), 64);
+        for l in &report.latencies {
+            assert_eq!(*l, SimDuration::from_micros(100));
+        }
+        assert_eq!(report.mean_latency(), SimDuration::from_micros(100));
+        assert_eq!(report.spikes(SimDuration::from_millis(1)), 0);
+    }
+
+    #[test]
+    fn latency_recording_can_be_disabled() {
+        let sim = Sim::new();
+        let file = FakeFile {
+            sim: sim.clone(),
+            write_cost: SimDuration::from_micros(1),
+            fsync_cost: SimDuration::ZERO,
+            written: Cell::new(0),
+        };
+        let s = sim.clone();
+        let report = sim.run_until(async move {
+            let config = BonnieConfig {
+                record_latencies: false,
+                ..BonnieConfig::new(1 << 20)
+            };
+            run(&s, &file, &config).await
+        });
+        assert!(report.latencies.is_empty());
+        assert!(report.write_mbps() > 0.0);
+    }
+
+    #[test]
+    fn partial_tail_chunk_written() {
+        let sim = Sim::new();
+        let file = FakeFile {
+            sim: sim.clone(),
+            write_cost: SimDuration::from_micros(1),
+            fsync_cost: SimDuration::ZERO,
+            written: Cell::new(0),
+        };
+        let s = sim.clone();
+        let report =
+            sim.run_until(async move { run(&s, &file, &BonnieConfig::new(8192 + 100)).await });
+        assert_eq!(report.latencies.len(), 2);
+        assert_eq!(report.file_size, 8292);
+    }
+
+    #[test]
+    fn histogram_uses_paper_bins() {
+        let sim = Sim::new();
+        let file = FakeFile {
+            sim: sim.clone(),
+            write_cost: SimDuration::from_micros(100),
+            fsync_cost: SimDuration::ZERO,
+            written: Cell::new(0),
+        };
+        let s = sim.clone();
+        let report =
+            sim.run_until(async move { run(&s, &file, &BonnieConfig::new(16 * 8192)).await });
+        let h = report.latency_histogram();
+        assert_eq!(h.bin_width(), SimDuration::from_micros(60));
+        assert_eq!(h.bins().len(), 8);
+        assert_eq!(h.bins()[1], 16, "100us lands in the second bin");
+    }
+}
+
+/// Options for the random-write workload (the database-style access the
+/// paper's §4 points at for future study).
+#[derive(Debug, Clone)]
+pub struct RandomConfig {
+    /// Region size the offsets are drawn from.
+    pub file_size: u64,
+    /// Chunk per `write()` call (chunk-aligned offsets).
+    pub chunk: u64,
+    /// Total bytes to write.
+    pub total_bytes: u64,
+    /// Seed for the offset sequence.
+    pub seed: u64,
+}
+
+impl RandomConfig {
+    /// A random workload over `file_size` writing `total_bytes` in the
+    /// paper's 8 KB chunks.
+    pub fn new(file_size: u64, total_bytes: u64) -> RandomConfig {
+        RandomConfig {
+            file_size,
+            chunk: CHUNK,
+            total_bytes,
+            seed: 0xd1ce,
+        }
+    }
+}
+
+/// Runs a random-offset write workload: chunk-aligned offsets drawn
+/// uniformly from `[0, file_size)`, so pages are frequently rewritten —
+/// exercising the client's request-merge and incompatible-request paths
+/// that the sequential benchmark never touches.
+pub async fn run_random<F: SimFile>(sim: &Sim, file: &F, config: &RandomConfig) -> BonnieReport {
+    let rng = nfsperf_sim::SimRng::new(config.seed);
+    let slots = (config.file_size / config.chunk).max(1);
+    let started: SimTime = sim.now();
+    let mut latencies = Vec::with_capacity((config.total_bytes / config.chunk) as usize);
+    let mut written = 0;
+    while written < config.total_bytes {
+        let offset = rng.uniform_u64(0, slots) * config.chunk;
+        let len = config.chunk.min(config.total_bytes - written);
+        let t0 = sim.now();
+        file.write(offset, len).await.expect("random write");
+        latencies.push(sim.now().since(t0));
+        written += len;
+    }
+    let write_elapsed = sim.now().since(started);
+    file.fsync().await.expect("random fsync");
+    let flush_elapsed = sim.now().since(started);
+    file.close().await.expect("random close");
+    let close_elapsed = sim.now().since(started);
+    BonnieReport {
+        file_size: config.total_bytes,
+        chunk: config.chunk,
+        latencies,
+        write_elapsed,
+        flush_elapsed,
+        close_elapsed,
+    }
+}
+
+#[cfg(test)]
+mod random_tests {
+    use super::*;
+    use nfsperf_kernel::VfsResult;
+    use std::cell::Cell;
+
+    struct CountingFile {
+        sim: Sim,
+        writes: Cell<u64>,
+        bytes: Cell<u64>,
+        max_end: Cell<u64>,
+    }
+
+    impl SimFile for CountingFile {
+        async fn write(&self, offset: u64, len: u64) -> VfsResult<u64> {
+            self.sim.sleep(SimDuration::from_micros(10)).await;
+            self.writes.set(self.writes.get() + 1);
+            self.bytes.set(self.bytes.get() + len);
+            self.max_end.set(self.max_end.get().max(offset + len));
+            Ok(len)
+        }
+        async fn fsync(&self) -> VfsResult<()> {
+            Ok(())
+        }
+        async fn close(&self) -> VfsResult<()> {
+            Ok(())
+        }
+        fn bytes_written(&self) -> u64 {
+            self.bytes.get()
+        }
+    }
+
+    #[test]
+    fn random_workload_writes_requested_bytes_within_region() {
+        let sim = Sim::new();
+        let file = CountingFile {
+            sim: sim.clone(),
+            writes: Cell::new(0),
+            bytes: Cell::new(0),
+            max_end: Cell::new(0),
+        };
+        let s = sim.clone();
+        let report = sim.run_until(async move {
+            let config = RandomConfig::new(1 << 20, 256 << 10);
+            let r = run_random(&s, &file, &config).await;
+            assert_eq!(file.bytes_written(), 256 << 10);
+            assert!(file.max_end.get() <= 1 << 20, "offsets stay in region");
+            r
+        });
+        assert_eq!(report.latencies.len(), 32);
+    }
+
+    #[test]
+    fn random_workload_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let sim = Sim::new();
+            let file = CountingFile {
+                sim: sim.clone(),
+                writes: Cell::new(0),
+                bytes: Cell::new(0),
+                max_end: Cell::new(0),
+            };
+            let s = sim.clone();
+            sim.run_until(async move {
+                let config = RandomConfig {
+                    seed,
+                    ..RandomConfig::new(1 << 20, 64 << 10)
+                };
+                run_random(&s, &file, &config).await;
+                file.max_end.get()
+            })
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,119 @@
+//! Latency-series statistics used by the figure runners and tests.
+
+use nfsperf_sim::SimDuration;
+
+/// Mean of a latency series ([`SimDuration::ZERO`] when empty).
+pub fn mean(samples: &[SimDuration]) -> SimDuration {
+    if samples.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
+    SimDuration(total / samples.len() as u64)
+}
+
+/// Mean excluding samples above `threshold` — how the paper computes
+/// "139.6 microseconds per call (excluding the 37 calls exceeding 1
+/// millisecond)".
+pub fn mean_excluding(samples: &[SimDuration], threshold: SimDuration) -> SimDuration {
+    let kept: Vec<SimDuration> = samples
+        .iter()
+        .copied()
+        .filter(|d| *d <= threshold)
+        .collect();
+    mean(&kept)
+}
+
+/// Number of samples above `threshold`.
+pub fn spike_count(samples: &[SimDuration], threshold: SimDuration) -> usize {
+    samples.iter().filter(|d| **d > threshold).count()
+}
+
+/// Means of ten equal slices of the series, in order — used to detect the
+/// Figure 3 latency growth.
+pub fn decile_means(samples: &[SimDuration]) -> Vec<SimDuration> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let n = samples.len();
+    (0..10)
+        .map(|d| {
+            let lo = n * d / 10;
+            let hi = (n * (d + 1) / 10).max(lo + 1).min(n);
+            mean(&samples[lo..hi])
+        })
+        .collect()
+}
+
+/// Ratio of the last decile's mean to the first decile's mean; > 1 means
+/// latency grows over the run.
+pub fn trend_ratio(samples: &[SimDuration]) -> f64 {
+    let deciles = decile_means(samples);
+    match (deciles.first(), deciles.last()) {
+        (Some(first), Some(last)) if first.as_nanos() > 0 => {
+            last.as_nanos() as f64 / first.as_nanos() as f64
+        }
+        _ => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> SimDuration {
+        SimDuration::from_micros(v)
+    }
+
+    #[test]
+    fn mean_basic_and_empty() {
+        assert_eq!(mean(&[]), SimDuration::ZERO);
+        assert_eq!(mean(&[us(10), us(20), us(30)]), us(20));
+    }
+
+    #[test]
+    fn mean_excluding_drops_outliers() {
+        let samples = [us(100), us(100), us(19_000)];
+        assert_eq!(mean_excluding(&samples, us(1_000)), us(100));
+        // The paper's observation: outliers multiply the mean.
+        assert!(mean(&samples) > us(6_000));
+    }
+
+    #[test]
+    fn spike_counting() {
+        let samples = [us(100), us(2_000), us(100), us(5_000)];
+        assert_eq!(spike_count(&samples, us(1_000)), 2);
+        assert_eq!(spike_count(&samples, us(10_000)), 0);
+    }
+
+    #[test]
+    fn decile_means_detect_growth() {
+        // Linearly growing series.
+        let samples: Vec<SimDuration> = (0..1000).map(|i| us(100 + i)).collect();
+        let deciles = decile_means(&samples);
+        assert_eq!(deciles.len(), 10);
+        for w in deciles.windows(2) {
+            assert!(w[1] > w[0], "deciles must increase");
+        }
+        assert!(trend_ratio(&samples) > 5.0);
+    }
+
+    #[test]
+    fn flat_series_has_unit_trend() {
+        let samples: Vec<SimDuration> = (0..1000).map(|_| us(100)).collect();
+        let r = trend_ratio(&samples);
+        assert!((r - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trend_ratio_degenerate_cases() {
+        assert_eq!(trend_ratio(&[]), 1.0);
+        assert_eq!(trend_ratio(&[SimDuration::ZERO; 20]), 1.0);
+    }
+
+    #[test]
+    fn decile_means_small_series() {
+        let samples = [us(1), us(2), us(3)];
+        let deciles = decile_means(&samples);
+        assert_eq!(deciles.len(), 10);
+    }
+}

@@ -1,0 +1,271 @@
+//! The per-inode request index: sorted list (2.4.4) and hash table (the
+//! paper's fix).
+//!
+//! The 2.4.4 client keeps an inode's write requests on a list sorted by
+//! page offset; `_nfs_find_request` walks it linearly. A sequential
+//! writer looks up a page that is never there, walks the *whole* list,
+//! and appends at the end — Figure 3's linear latency growth. The paper's
+//! hash table keyed by page offset makes the lookup O(1) at a cost of
+//! eight bytes per request and eight per inode.
+//!
+//! [`RequestIndex::find`] and friends return the number of list entries
+//! actually walked so the caller can charge honest CPU time; the walk is
+//! performed for real, not assumed.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::request::NfsPageReq;
+use crate::tuning::IndexKind;
+
+/// The index over one inode's outstanding requests.
+pub struct RequestIndex {
+    /// Requests ordered by page index (the 2.4 list; always maintained).
+    list: Vec<Rc<NfsPageReq>>,
+    /// The paper's supplementary hash table, present when enabled.
+    hash: Option<HashMap<u64, Rc<NfsPageReq>>>,
+}
+
+/// Result of an index operation: what was found plus the walk length to
+/// charge.
+pub struct Lookup {
+    /// The matching request, if one exists.
+    pub found: Option<Rc<NfsPageReq>>,
+    /// List entries walked (zero when the hash table answered).
+    pub scanned: usize,
+}
+
+impl RequestIndex {
+    /// Creates an empty index of the given kind.
+    pub fn new(kind: IndexKind) -> RequestIndex {
+        RequestIndex {
+            list: Vec::new(),
+            hash: match kind {
+                IndexKind::SortedList => None,
+                IndexKind::HashTable => Some(HashMap::new()),
+            },
+        }
+    }
+
+    /// Looks up the request covering `page_index`.
+    ///
+    /// With the hash table this is one bucket probe; with the plain list
+    /// it walks entries in page order until it finds the page or proves
+    /// absence (passing the insertion point), exactly as
+    /// `_nfs_find_request` does.
+    pub fn find(&self, page_index: u64) -> Lookup {
+        if let Some(hash) = &self.hash {
+            return Lookup {
+                found: hash.get(&page_index).cloned(),
+                scanned: 0,
+            };
+        }
+        let mut scanned = 0;
+        for req in &self.list {
+            scanned += 1;
+            if req.page_index == page_index {
+                return Lookup {
+                    found: Some(Rc::clone(req)),
+                    scanned,
+                };
+            }
+            if req.page_index > page_index {
+                // Sorted: the page cannot appear later.
+                return Lookup {
+                    found: None,
+                    scanned,
+                };
+            }
+        }
+        Lookup {
+            found: None,
+            scanned,
+        }
+    }
+
+    /// Inserts a new request, keeping the list sorted. Returns entries
+    /// walked to find the insertion point (a sequential writer walks the
+    /// whole list every time — the Figure 3 pathology).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request for the same page is already indexed; callers
+    /// must [`RequestIndex::find`] first.
+    pub fn insert(&mut self, req: Rc<NfsPageReq>) -> usize {
+        let page = req.page_index;
+        if let Some(hash) = &mut self.hash {
+            let prev = hash.insert(page, Rc::clone(&req));
+            assert!(prev.is_none(), "duplicate request for page {page}");
+            // The supplementary list is still maintained (ordering is
+            // needed for coalescing), but with the hash present the walk
+            // is not charged: position is found from the end, where a
+            // sequential writer appends in O(1).
+            let pos = self.list.partition_point(|r| r.page_index < page);
+            self.list.insert(pos, req);
+            return 0;
+        }
+        let mut scanned = 0;
+        let mut pos = self.list.len();
+        for (i, r) in self.list.iter().enumerate() {
+            scanned += 1;
+            assert!(r.page_index != page, "duplicate request for page {page}");
+            if r.page_index > page {
+                pos = i;
+                break;
+            }
+        }
+        self.list.insert(pos, req);
+        scanned
+    }
+
+    /// Removes the request for `page_index` (on completion). Completion
+    /// holds a pointer to the request in the real kernel, so removal is
+    /// O(1) and uncharged; the internal position search uses binary
+    /// search.
+    pub fn remove(&mut self, page_index: u64) -> Option<Rc<NfsPageReq>> {
+        if let Some(hash) = &mut self.hash {
+            hash.remove(&page_index);
+        }
+        match self
+            .list
+            .binary_search_by_key(&page_index, |r| r.page_index)
+        {
+            Ok(i) => Some(self.list.remove(i)),
+            Err(_) => None,
+        }
+    }
+
+    /// Number of indexed requests.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Returns `true` when no requests are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Iterates requests in page order (for coalescing and flushing).
+    pub fn iter(&self) -> impl Iterator<Item = &Rc<NfsPageReq>> {
+        self.list.iter()
+    }
+
+    /// Returns `true` if the hash table is active.
+    pub fn has_hash(&self) -> bool {
+        self.hash.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::SimTime;
+
+    fn req(page: u64) -> Rc<NfsPageReq> {
+        NfsPageReq::new(page, 0, 4096, SimTime::ZERO)
+    }
+
+    #[test]
+    fn sequential_list_inserts_walk_everything() {
+        let mut idx = RequestIndex::new(IndexKind::SortedList);
+        for page in 0..100 {
+            let l = idx.find(page);
+            assert!(l.found.is_none());
+            assert_eq!(l.scanned, page as usize, "absent lookup walks whole list");
+            let walked = idx.insert(req(page));
+            assert_eq!(walked, page as usize, "insert walks to the end");
+        }
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn hash_lookups_do_not_walk() {
+        let mut idx = RequestIndex::new(IndexKind::HashTable);
+        for page in 0..100 {
+            assert_eq!(idx.find(page).scanned, 0);
+            assert_eq!(idx.insert(req(page)), 0);
+        }
+        let hit = idx.find(50);
+        assert!(hit.found.is_some());
+        assert_eq!(hit.scanned, 0);
+        assert!(idx.has_hash());
+    }
+
+    #[test]
+    fn list_find_hit_stops_at_match() {
+        let mut idx = RequestIndex::new(IndexKind::SortedList);
+        for page in 0..10 {
+            idx.insert(req(page));
+        }
+        let l = idx.find(4);
+        assert_eq!(l.found.unwrap().page_index, 4);
+        assert_eq!(l.scanned, 5);
+    }
+
+    #[test]
+    fn list_find_miss_stops_at_sorted_position() {
+        let mut idx = RequestIndex::new(IndexKind::SortedList);
+        idx.insert(req(0));
+        idx.insert(req(10));
+        let l = idx.find(5);
+        assert!(l.found.is_none());
+        assert_eq!(l.scanned, 2, "stops at the first larger page");
+    }
+
+    #[test]
+    fn out_of_order_insert_keeps_sorted() {
+        let mut idx = RequestIndex::new(IndexKind::SortedList);
+        for page in [5u64, 1, 9, 3, 7] {
+            idx.insert(req(page));
+        }
+        let pages: Vec<u64> = idx.iter().map(|r| r.page_index).collect();
+        assert_eq!(pages, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn remove_finds_and_removes() {
+        for kind in [IndexKind::SortedList, IndexKind::HashTable] {
+            let mut idx = RequestIndex::new(kind);
+            for page in 0..5 {
+                idx.insert(req(page));
+            }
+            let removed = idx.remove(2).expect("present");
+            assert_eq!(removed.page_index, 2);
+            assert!(idx.find(2).found.is_none());
+            assert!(idx.remove(2).is_none(), "second removal misses");
+            assert_eq!(idx.len(), 4);
+        }
+    }
+
+    #[test]
+    fn both_kinds_agree_on_contents() {
+        let mut a = RequestIndex::new(IndexKind::SortedList);
+        let mut b = RequestIndex::new(IndexKind::HashTable);
+        for page in [3u64, 1, 4, 8, 9, 2, 6] {
+            a.insert(req(page));
+            b.insert(req(page));
+        }
+        let pa: Vec<u64> = a.iter().map(|r| r.page_index).collect();
+        let pb: Vec<u64> = b.iter().map(|r| r.page_index).collect();
+        assert_eq!(pa, pb);
+        for page in 0..10 {
+            assert_eq!(a.find(page).found.is_some(), b.find(page).found.is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request")]
+    fn duplicate_insert_panics_list() {
+        let mut idx = RequestIndex::new(IndexKind::SortedList);
+        idx.insert(req(1));
+        idx.insert(req(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate request")]
+    fn duplicate_insert_panics_hash() {
+        let mut idx = RequestIndex::new(IndexKind::HashTable);
+        idx.insert(req(1));
+        idx.insert(req(1));
+    }
+}

@@ -1,0 +1,171 @@
+//! `struct nfs_page` — the client's internal write request.
+//!
+//! The VFS passes file systems writes one page at a time; the 2.4 NFS
+//! client wraps each in a request that lives on the inode until the data
+//! is durable at the server. An 8 KiB Bonnie write always creates two.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use nfsperf_nfs3::WriteVerf;
+use nfsperf_sim::SimTime;
+
+/// Lifecycle of a write request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqState {
+    /// Dirty in the page cache, not yet scheduled into an RPC.
+    Dirty,
+    /// Part of an in-flight WRITE RPC.
+    Writeback,
+    /// WRITE completed UNSTABLE; awaiting COMMIT (verifier recorded).
+    Unstable,
+}
+
+/// One per-page write request.
+#[derive(Debug)]
+pub struct NfsPageReq {
+    /// Page index within the file.
+    pub page_index: u64,
+    /// Offset of dirty data within the page.
+    offset_in_page: Cell<u64>,
+    /// Dirty byte count within the page.
+    len: Cell<u64>,
+    state: Cell<ReqState>,
+    /// Verifier from the UNSTABLE write reply.
+    verf: Cell<WriteVerf>,
+    /// When the request was created (for age-based flushing).
+    pub created_at: SimTime,
+}
+
+impl NfsPageReq {
+    /// Creates a dirty request covering `[offset_in_page, offset_in_page
+    /// + len)` of page `page_index`.
+    pub fn new(page_index: u64, offset_in_page: u64, len: u64, at: SimTime) -> Rc<NfsPageReq> {
+        debug_assert!(offset_in_page + len <= nfsperf_kernel::PAGE_SIZE);
+        Rc::new(NfsPageReq {
+            page_index,
+            offset_in_page: Cell::new(offset_in_page),
+            len: Cell::new(len),
+            state: Cell::new(ReqState::Dirty),
+            verf: Cell::new(WriteVerf::default()),
+            created_at: at,
+        })
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ReqState {
+        self.state.get()
+    }
+
+    /// Marks the request as part of an in-flight WRITE.
+    pub fn mark_writeback(&self) {
+        debug_assert_eq!(self.state.get(), ReqState::Dirty);
+        self.state.set(ReqState::Writeback);
+    }
+
+    /// Records an UNSTABLE completion with the server's verifier.
+    pub fn mark_unstable(&self, verf: WriteVerf) {
+        debug_assert_eq!(self.state.get(), ReqState::Writeback);
+        self.verf.set(verf);
+        self.state.set(ReqState::Unstable);
+    }
+
+    /// Returns the request to dirty (verifier mismatch: must re-send).
+    pub fn mark_dirty_again(&self) {
+        self.state.set(ReqState::Dirty);
+    }
+
+    /// The verifier recorded at UNSTABLE completion.
+    pub fn verf(&self) -> WriteVerf {
+        self.verf.get()
+    }
+
+    /// Grows the request to cover another write to the same page
+    /// (coalescing at page granularity). Returns `false` if the ranges
+    /// are not mergeable (disjoint, non-contiguous).
+    pub fn merge(&self, offset_in_page: u64, len: u64) -> bool {
+        let cur_start = self.offset_in_page.get();
+        let cur_end = cur_start + self.len.get();
+        let new_end = offset_in_page + len;
+        // Mergeable iff the union is a contiguous range.
+        if offset_in_page > cur_end || new_end < cur_start {
+            return false;
+        }
+        let start = cur_start.min(offset_in_page);
+        let end = cur_end.max(new_end);
+        self.offset_in_page.set(start);
+        self.len.set(end - start);
+        true
+    }
+
+    /// Offset of the dirty range within the page.
+    pub fn offset_in_page(&self) -> u64 {
+        self.offset_in_page.get()
+    }
+
+    /// Dirty bytes covered.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// Returns `true` if the request covers no bytes (never the case for
+    /// a live request; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len.get() == 0
+    }
+
+    /// Absolute file offset of the dirty range.
+    pub fn file_offset(&self) -> u64 {
+        self.page_index * nfsperf_kernel::PAGE_SIZE + self.offset_in_page.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let r = NfsPageReq::new(3, 0, 4096, SimTime::ZERO);
+        assert_eq!(r.state(), ReqState::Dirty);
+        r.mark_writeback();
+        assert_eq!(r.state(), ReqState::Writeback);
+        r.mark_unstable(WriteVerf(9));
+        assert_eq!(r.state(), ReqState::Unstable);
+        assert_eq!(r.verf(), WriteVerf(9));
+        r.mark_dirty_again();
+        assert_eq!(r.state(), ReqState::Dirty);
+    }
+
+    #[test]
+    fn file_offset_math() {
+        let r = NfsPageReq::new(2, 100, 50, SimTime::ZERO);
+        assert_eq!(r.file_offset(), 2 * 4096 + 100);
+        assert_eq!(r.len(), 50);
+    }
+
+    #[test]
+    fn merge_contiguous_ranges() {
+        let r = NfsPageReq::new(0, 0, 100, SimTime::ZERO);
+        assert!(r.merge(100, 100), "adjacent ranges merge");
+        assert_eq!(r.offset_in_page(), 0);
+        assert_eq!(r.len(), 200);
+        assert!(r.merge(50, 100), "overlapping ranges merge");
+        assert_eq!(r.len(), 200);
+    }
+
+    #[test]
+    fn merge_rejects_disjoint() {
+        let r = NfsPageReq::new(0, 0, 100, SimTime::ZERO);
+        assert!(!r.merge(200, 100), "gap between ranges");
+        assert_eq!(r.len(), 100);
+    }
+
+    #[test]
+    fn merge_extends_backwards() {
+        let r = NfsPageReq::new(0, 1000, 100, SimTime::ZERO);
+        assert!(r.merge(500, 500));
+        assert_eq!(r.offset_in_page(), 500);
+        assert_eq!(r.len(), 600);
+    }
+}

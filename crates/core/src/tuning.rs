@@ -1,0 +1,160 @@
+//! Client tuning knobs: the 2.4.4 baseline and the paper's three fixes.
+//!
+//! Each of the paper's modifications is an independent switch so every
+//! intermediate configuration in Figures 2–6 and Table 1 can be
+//! reproduced:
+//!
+//! | Figure/Table | preset |
+//! |---|---|
+//! | Fig 1, Fig 2 | [`ClientTuning::linux_2_4_4`] |
+//! | Fig 3 | [`ClientTuning::no_flush`] |
+//! | Fig 4, Fig 5, Table 1 "Normal" | [`ClientTuning::hash_table`] |
+//! | Fig 6, Table 1 "No lock", Fig 7 | [`ClientTuning::full_patch`] |
+
+/// How the client indexes an inode's outstanding write requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// The 2.4.4 sorted per-inode list: `_nfs_find_request` walks it
+    /// linearly on every lookup.
+    SortedList,
+    /// The paper's fix: a hash table keyed by page offset supplementing
+    /// the list (8 bytes per request, 8 per inode).
+    HashTable,
+}
+
+/// Per-inode request count at which the stock client forces the writer to
+/// flush and wait (Linux 2.4.4 `MAX_REQUEST_SOFT`).
+pub const MAX_REQUEST_SOFT: usize = 192;
+
+/// Per-mount request count at which the stock client puts writers to
+/// sleep (Linux 2.4.4 `MAX_REQUEST_HARD`).
+pub const MAX_REQUEST_HARD: usize = 256;
+
+/// The complete set of client-behaviour switches studied by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTuning {
+    /// Enforce `MAX_REQUEST_SOFT`/`MAX_REQUEST_HARD` with synchronous
+    /// flushes (the Figure 2 latency-spike source). The paper's first fix
+    /// removes this and lets VM pressure drive writeback.
+    pub sync_flush_limits: bool,
+    /// Request index implementation (the Figure 3→4 fix).
+    pub index: IndexKind,
+    /// Hold the global kernel lock across `sock_sendmsg` (the
+    /// Figure 5→6 / Table 1 fix removes this).
+    pub bkl_around_sendmsg: bool,
+}
+
+impl ClientTuning {
+    /// The stock Linux 2.4.4 client.
+    pub fn linux_2_4_4() -> ClientTuning {
+        ClientTuning {
+            sync_flush_limits: true,
+            index: IndexKind::SortedList,
+            bkl_around_sendmsg: true,
+        }
+    }
+
+    /// Fix 1 only: redundant flush logic removed (Figure 3).
+    pub fn no_flush() -> ClientTuning {
+        ClientTuning {
+            sync_flush_limits: false,
+            ..ClientTuning::linux_2_4_4()
+        }
+    }
+
+    /// Fixes 1+2: no flushing, hash-table request index (Figure 4/5,
+    /// Table 1 "Normal").
+    pub fn hash_table() -> ClientTuning {
+        ClientTuning {
+            index: IndexKind::HashTable,
+            ..ClientTuning::no_flush()
+        }
+    }
+
+    /// All three fixes: the paper's full patch (Figure 6/7, Table 1 "No
+    /// lock").
+    pub fn full_patch() -> ClientTuning {
+        ClientTuning {
+            bkl_around_sendmsg: false,
+            ..ClientTuning::hash_table()
+        }
+    }
+
+    /// Short name for reports.
+    pub fn label(&self) -> &'static str {
+        match (self.sync_flush_limits, self.index, self.bkl_around_sendmsg) {
+            (true, IndexKind::SortedList, true) => "linux-2.4.4",
+            (false, IndexKind::SortedList, true) => "no-flush",
+            (false, IndexKind::HashTable, true) => "hash-table",
+            (false, IndexKind::HashTable, false) => "full-patch",
+            _ => "custom",
+        }
+    }
+}
+
+impl Default for ClientTuning {
+    fn default() -> Self {
+        ClientTuning::linux_2_4_4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limits_match_2_4_4() {
+        assert_eq!(MAX_REQUEST_SOFT, 192);
+        assert_eq!(MAX_REQUEST_HARD, 256);
+    }
+
+    #[test]
+    fn presets_differ_only_in_the_advertised_knob() {
+        let base = ClientTuning::linux_2_4_4();
+        let f1 = ClientTuning::no_flush();
+        assert_eq!(
+            ClientTuning {
+                sync_flush_limits: false,
+                ..base
+            },
+            f1
+        );
+        let f2 = ClientTuning::hash_table();
+        assert_eq!(
+            ClientTuning {
+                index: IndexKind::HashTable,
+                ..f1
+            },
+            f2
+        );
+        let f3 = ClientTuning::full_patch();
+        assert_eq!(
+            ClientTuning {
+                bkl_around_sendmsg: false,
+                ..f2
+            },
+            f3
+        );
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            ClientTuning::linux_2_4_4().label(),
+            ClientTuning::no_flush().label(),
+            ClientTuning::hash_table().label(),
+            ClientTuning::full_patch().label(),
+        ];
+        for (i, a) in labels.iter().enumerate() {
+            for b in &labels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        let custom = ClientTuning {
+            sync_flush_limits: true,
+            index: IndexKind::HashTable,
+            bkl_around_sendmsg: true,
+        };
+        assert_eq!(custom.label(), "custom");
+    }
+}

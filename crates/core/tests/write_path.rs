@@ -1,0 +1,446 @@
+//! Behavioural tests for the NFS client write path against live simulated
+//! servers: the paper's three defects and their fixes, observed directly.
+
+use std::rc::Rc;
+
+use nfsperf_client::{ClientTuning, MountConfig, NfsFile, NfsMount, MAX_REQUEST_SOFT};
+use nfsperf_kernel::{CostTable, Kernel, KernelConfig, SimFile};
+use nfsperf_net::{Nic, NicSpec, Path};
+use nfsperf_server::{NfsServer, ServerConfig};
+use nfsperf_sim::{Sim, SimDuration};
+
+struct World {
+    sim: Sim,
+    kernel: Kernel,
+    mount: Rc<NfsMount>,
+    server: Rc<NfsServer>,
+}
+
+fn world(tuning: ClientTuning, server_config: ServerConfig, server_nic: NicSpec) -> World {
+    let sim = Sim::new();
+    let costs = CostTable {
+        cpu_jitter_frac: 0.0,
+        ..CostTable::default()
+    };
+    let kernel = Kernel::new(
+        &sim,
+        KernelConfig {
+            costs,
+            ..KernelConfig::default()
+        },
+    );
+    let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+    let (snic, srx) = Nic::new(&sim, "server", server_nic);
+    let to_server = Path {
+        local: cnic,
+        remote: snic,
+        latency: Path::default_latency(),
+    };
+    let server = NfsServer::spawn(&sim, srx, to_server.reversed(), server_config);
+    let mount = NfsMount::mount(
+        &kernel,
+        to_server,
+        crx,
+        MountConfig {
+            tuning,
+            ..MountConfig::default()
+        },
+    );
+    World {
+        sim,
+        kernel,
+        mount,
+        server,
+    }
+}
+
+/// Runs a sequential 8 KiB-chunk write of `total` bytes, returning
+/// per-call latencies.
+async fn sequential_write(file: &NfsFile, total: u64) -> Vec<SimDuration> {
+    let sim = &file.mount().kernel.sim;
+    let mut latencies = Vec::new();
+    let mut off = 0;
+    while off < total {
+        let t0 = sim.now();
+        file.write(off, 8192).await.unwrap();
+        latencies.push(sim.now().since(t0));
+        off += 8192;
+    }
+    latencies
+}
+
+#[test]
+fn write_close_round_trip_updates_server() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        sequential_write(&file, 1 << 20).await;
+        file.close().await.unwrap();
+        let fh = file.inode().fh;
+        assert_eq!(server.fs.size_of(&fh).unwrap(), 1 << 20);
+        assert_eq!(
+            file.inode().total_requests(),
+            0,
+            "close drains all requests"
+        );
+    });
+    assert_eq!(w.kernel.mem.dirty_pages(), 0, "all pages released");
+    assert_eq!(w.server.stats().write_bytes, 1 << 20);
+}
+
+#[test]
+fn stock_client_shows_periodic_latency_spikes() {
+    let w = world(
+        ClientTuning::linux_2_4_4(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let latencies = w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        let lat = sequential_write(&file, 5 << 20).await;
+        file.close().await.unwrap();
+        lat
+    });
+    let spike_threshold = SimDuration::from_millis(1);
+    let spikes = latencies.iter().filter(|l| **l > spike_threshold).count();
+    assert!(
+        spikes >= 3,
+        "expected periodic soft-limit spikes, saw {spikes} of {}",
+        latencies.len()
+    );
+    // Spikes are many-millisecond stalls, like the paper's 19 ms.
+    let max = latencies.iter().max().unwrap();
+    assert!(
+        *max >= SimDuration::from_millis(5),
+        "spike magnitude should be milliseconds, got {max}"
+    );
+    // Most calls are still fast (paper: ~1.4% slow calls).
+    assert!(
+        spikes * 10 < latencies.len(),
+        "spikes must be a small minority: {spikes}/{}",
+        latencies.len()
+    );
+    assert!(w.mount.stats().soft_limit_flushes >= 3);
+}
+
+#[test]
+fn no_flush_removes_spikes_but_latency_grows() {
+    let w = world(
+        ClientTuning::no_flush(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let latencies = w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        let lat = sequential_write(&file, 20 << 20).await;
+        file.close().await.unwrap();
+        lat
+    });
+    assert_eq!(w.mount.stats().soft_limit_flushes, 0);
+    // Request count exceeds the old soft limit freely.
+    // Latency trend: mean of last tenth far above mean of first tenth.
+    let n = latencies.len();
+    let first: u64 = latencies[..n / 10]
+        .iter()
+        .map(|d| d.as_nanos())
+        .sum::<u64>()
+        / (n / 10) as u64;
+    let last: u64 = latencies[n - n / 10..]
+        .iter()
+        .map(|d| d.as_nanos())
+        .sum::<u64>()
+        / (n / 10) as u64;
+    assert!(
+        last > first * 2,
+        "list-scan growth expected: first-decile mean {first}ns, last-decile mean {last}ns"
+    );
+}
+
+#[test]
+fn hash_table_keeps_latency_flat() {
+    let w = world(
+        ClientTuning::hash_table(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let latencies = w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        let lat = sequential_write(&file, 20 << 20).await;
+        file.close().await.unwrap();
+        lat
+    });
+    let n = latencies.len();
+    let first: u64 = latencies[..n / 10]
+        .iter()
+        .map(|d| d.as_nanos())
+        .sum::<u64>()
+        / (n / 10) as u64;
+    let last: u64 = latencies[n - n / 10..]
+        .iter()
+        .map(|d| d.as_nanos())
+        .sum::<u64>()
+        / (n / 10) as u64;
+    assert!(
+        last < first * 2,
+        "hash table must keep latency flat: first {first}ns last {last}ns"
+    );
+}
+
+#[test]
+fn profiler_blames_nfs_find_request_in_no_flush_config() {
+    // The paper's §3.4 profiling observation: with flushing removed and
+    // the list in place, nfs_find_request/nfs_update_request dominate.
+    let w = world(
+        ClientTuning::no_flush(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        sequential_write(&file, 40 << 20).await;
+        file.close().await.unwrap();
+    });
+    let report = w.kernel.profiler.report();
+    let top: Vec<&str> = report.iter().take(2).map(|r| r.label).collect();
+    assert!(
+        top.contains(&"nfs_find_request") || top.contains(&"nfs_update_request"),
+        "request-list scans should top the profile, got {top:?}"
+    );
+}
+
+#[test]
+fn unstable_writes_commit_against_knfsd() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::linux_knfsd(),
+        NicSpec::bus_limited(26_000_000),
+    );
+    let mount = Rc::clone(&w.mount);
+    w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        sequential_write(&file, 2 << 20).await;
+        file.fsync().await.unwrap();
+        assert_eq!(file.inode().unstable_requests(), 0);
+        file.close().await.unwrap();
+    });
+    let stats = w.mount.stats();
+    assert!(stats.commit_rpcs >= 1, "knfsd requires COMMIT");
+    assert_eq!(w.server.dirty_bytes(), Some(0), "commit flushed the server");
+    assert_eq!(w.kernel.mem.dirty_pages(), 0);
+}
+
+#[test]
+fn filer_needs_no_commit() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        sequential_write(&file, 2 << 20).await;
+        file.close().await.unwrap();
+    });
+    assert_eq!(
+        w.mount.stats().commit_rpcs,
+        0,
+        "FILE_SYNC replies make COMMIT unnecessary"
+    );
+}
+
+#[test]
+fn server_reboot_triggers_verifier_recovery() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::linux_knfsd(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    let sim = w.sim.clone();
+    w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        // Write a little, then catch the window where some WRITEs have
+        // completed UNSTABLE but no COMMIT has landed yet.
+        sequential_write(&file, 512 * 1024).await;
+        while file.inode().unstable_requests() == 0 {
+            file.inode().completion.wait().await;
+        }
+        // Server "reboots": verifier changes, cached dirty data is gone.
+        server.reboot();
+        sim.sleep(SimDuration::from_micros(100)).await;
+        file.fsync().await.unwrap();
+        file.close().await.unwrap();
+        let fh = file.inode().fh;
+        assert_eq!(server.fs.size_of(&fh).unwrap(), 512 * 1024);
+    });
+    assert!(
+        w.mount.stats().verf_mismatches > 0,
+        "reboot must be detected via the verifier"
+    );
+}
+
+#[test]
+fn memory_pressure_throttles_writer_to_server_speed() {
+    let sim = Sim::new();
+    let costs = CostTable {
+        cpu_jitter_frac: 0.0,
+        ..CostTable::default()
+    };
+    // Small RAM so the test is fast: 16 MB.
+    let kernel = Kernel::new(
+        &sim,
+        KernelConfig {
+            ram_bytes: 16 << 20,
+            costs,
+            ..KernelConfig::default()
+        },
+    );
+    let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+    let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
+    let to_server = Path {
+        local: cnic,
+        remote: snic,
+        latency: Path::default_latency(),
+    };
+    let _server = NfsServer::spawn(&sim, srx, to_server.reversed(), ServerConfig::netapp_f85());
+    let mount = NfsMount::mount(
+        &kernel,
+        to_server,
+        crx,
+        MountConfig {
+            tuning: ClientTuning::full_patch(),
+            ..MountConfig::default()
+        },
+    );
+    let k2 = kernel.clone();
+    let elapsed = sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        let t0 = k2.sim.now();
+        sequential_write(&file, 64 << 20).await; // 4x RAM
+        let t = k2.sim.now().since(t0);
+        file.close().await.unwrap();
+        t
+    });
+    // At pure memory speed 64 MB would take ~0.5 s; the filer services
+    // ~40 MB/s, so a memory-bound run is impossible.
+    assert!(
+        elapsed > SimDuration::from_millis(900),
+        "writer must be throttled to server speed, took {elapsed}"
+    );
+    assert!(kernel.mem.throttle_events() > 0);
+}
+
+#[test]
+fn soft_limit_honoured_only_in_stock_tuning() {
+    for (tuning, expect_bounded) in [
+        (ClientTuning::linux_2_4_4(), true),
+        (ClientTuning::hash_table(), false),
+    ] {
+        let w = world(tuning, ServerConfig::netapp_f85(), NicSpec::gigabit());
+        let mount = Rc::clone(&w.mount);
+        let peak = w.sim.run_until(async move {
+            let file = mount.create("bench").await.unwrap();
+            let mut peak = 0;
+            let mut off = 0u64;
+            while off < (4 << 20) {
+                file.write(off, 8192).await.unwrap();
+                peak = peak.max(file.inode().total_requests());
+                off += 8192;
+            }
+            file.close().await.unwrap();
+            peak
+        });
+        if expect_bounded {
+            assert!(
+                peak <= MAX_REQUEST_SOFT + 2,
+                "stock tuning keeps requests near the soft limit, peak {peak}"
+            );
+        } else {
+            assert!(
+                peak > MAX_REQUEST_SOFT,
+                "patched tuning should blow past the soft limit, peak {peak}"
+            );
+        }
+    }
+}
+
+#[test]
+fn slower_server_yields_faster_memory_writes() {
+    // The paper's §3.5 counter-intuitive observation, reproduced with the
+    // BKL held (stock RPC layer): a slower server keeps nfs_flushd asleep
+    // and the writer uncontended.
+    let run = |server: ServerConfig, nic: NicSpec| -> f64 {
+        let w = world(ClientTuning::hash_table(), server, nic);
+        let mount = Rc::clone(&w.mount);
+        w.sim.run_until(async move {
+            let file = mount.create("bench").await.unwrap();
+            let sim = &file.mount().kernel.sim;
+            let t0 = sim.now();
+            sequential_write(&file, 5 << 20).await;
+            let elapsed = sim.now().since(t0);
+            let mbps = (5 << 20) as f64 / elapsed.as_secs_f64() / 1e6;
+            file.close().await.unwrap();
+            mbps
+        })
+    };
+    let vs_filer = run(ServerConfig::netapp_f85(), NicSpec::gigabit());
+    let vs_slow = run(ServerConfig::slow_100bt(), NicSpec::fast_ethernet());
+    assert!(
+        vs_slow > vs_filer,
+        "slow server should allow faster memory writes: slow={vs_slow:.1} filer={vs_filer:.1} MB/s"
+    );
+}
+
+#[test]
+fn read_back_after_write() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    w.sim.run_until(async move {
+        let file = mount.create("rw").await.unwrap();
+        sequential_write(&file, 64 * 1024).await;
+        // Read back: flushes dirty data first, then fetches.
+        let n = file.read(0, 8192).await.unwrap();
+        assert_eq!(n, 8192);
+        // Reading past EOF is short.
+        let n = file.read(60 * 1024, 8192).await.unwrap();
+        assert_eq!(n, 4 * 1024);
+        // Reading at EOF returns zero bytes.
+        let n = file.read(64 * 1024, 8192).await.unwrap();
+        assert_eq!(n, 0);
+        file.close().await.unwrap();
+    });
+}
+
+#[test]
+fn truncate_shrinks_server_file() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    w.sim.run_until(async move {
+        let file = mount.create("trunc").await.unwrap();
+        sequential_write(&file, 64 * 1024).await;
+        file.truncate(1000).await.unwrap();
+        assert_eq!(server.fs.size_of(&file.inode().fh).unwrap(), 1000);
+        file.close().await.unwrap();
+    });
+}

@@ -1,0 +1,291 @@
+//! The paper's evaluation, figure by figure and table by table.
+//!
+//! Each runner reproduces one exhibit from Section 3 of the paper and
+//! returns the same data the paper plots; the `examples/` binaries render
+//! them and EXPERIMENTS.md records paper-vs-measured.
+
+use nfsperf_client::ClientTuning;
+use nfsperf_sim::{Histogram, SimDuration};
+
+use crate::render::{Series, Sweep};
+use crate::scenario::{run_bonnie, run_local, write_throughput_mbps, Scenario, ServerKind};
+
+/// The paper's file-size sweep: 25 MB to 450 MB in 25 MB steps.
+pub fn paper_file_sizes() -> Vec<u64> {
+    (1..=18).map(|i| (i * 25) << 20).collect()
+}
+
+/// A reduced sweep for quick runs and CI.
+pub fn quick_file_sizes() -> Vec<u64> {
+    [50u64, 150, 250, 350, 450]
+        .iter()
+        .map(|m| m << 20)
+        .collect()
+}
+
+fn mb(bytes: u64) -> f64 {
+    bytes as f64 / (1 << 20) as f64
+}
+
+/// Figures 1 and 7 share a shape: local ext2 vs NFS on both servers,
+/// write throughput against file size.
+fn throughput_sweep(tuning: ClientTuning, sizes: &[u64]) -> Sweep {
+    let mut local = Vec::new();
+    let mut filer = Vec::new();
+    let mut knfsd = Vec::new();
+    for &size in sizes {
+        local.push((mb(size), run_local(size, false).write_mbps()));
+        filer.push((
+            mb(size),
+            write_throughput_mbps(&Scenario::new(tuning, ServerKind::Filer), size),
+        ));
+        knfsd.push((
+            mb(size),
+            write_throughput_mbps(&Scenario::new(tuning, ServerKind::Knfsd), size),
+        ));
+    }
+    Sweep {
+        series: vec![
+            Series::new("local ext2", local),
+            Series::new("netapp filer", filer),
+            Series::new("linux nfs server", knfsd),
+        ],
+        x_label: "file size (MB)".into(),
+        y_label: "write throughput (MB/s)".into(),
+    }
+}
+
+/// Figure 1: local vs NFS memory write performance with the **stock**
+/// 2.4.4 client. NFS throughput stays pinned at network/server speed
+/// while local writes run at memory speed until RAM is exhausted.
+pub fn figure1(sizes: &[u64]) -> Sweep {
+    throughput_sweep(ClientTuning::linux_2_4_4(), sizes)
+}
+
+/// Figure 7: the same sweep with the **fully patched** client. NFS write
+/// throughput approaches local memory speed while RAM lasts, and the
+/// filer sustains more than the Linux server past exhaustion.
+pub fn figure7(sizes: &[u64]) -> Sweep {
+    throughput_sweep(ClientTuning::full_patch(), sizes)
+}
+
+/// Result of a latency-trace experiment (Figures 2, 3 and 4).
+pub struct LatencyTrace {
+    /// Which configuration produced it.
+    pub label: &'static str,
+    /// Per-call `write()` latencies, in call order.
+    pub latencies: Vec<SimDuration>,
+    /// Mean latency over the whole run.
+    pub mean: SimDuration,
+    /// Mean excluding calls above 1 ms (the paper's comparison).
+    pub mean_excluding_spikes: SimDuration,
+    /// Calls above 1 ms.
+    pub spikes: usize,
+    /// Write-phase throughput, MB/s.
+    pub write_mbps: f64,
+}
+
+fn latency_trace(label: &'static str, tuning: ClientTuning, size: u64) -> LatencyTrace {
+    let scenario = Scenario::new(tuning, ServerKind::Filer);
+    let out = run_bonnie(&scenario, size);
+    let ms1 = SimDuration::from_millis(1);
+    LatencyTrace {
+        label,
+        mean: out.report.mean_latency(),
+        mean_excluding_spikes: out.report.mean_latency_excluding(ms1),
+        spikes: out.report.spikes(ms1),
+        write_mbps: out.report.write_mbps(),
+        latencies: out.report.latencies,
+    }
+}
+
+impl LatencyTrace {
+    /// CSV rows: `call,latency_us`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("call,latency_us\n");
+        for (i, l) in self.latencies.iter().enumerate() {
+            out.push_str(&format!("{},{:.3}\n", i, l.as_micros_f64()));
+        }
+        out
+    }
+
+    /// Gaps between consecutive spikes (in calls) — the paper's "every 80
+    /// to 90 system calls".
+    pub fn spike_periods(&self, threshold: SimDuration) -> Vec<usize> {
+        let spikes: Vec<usize> = self
+            .latencies
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l > threshold)
+            .map(|(i, _)| i)
+            .collect();
+        spikes.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+/// Figure 2: per-call latency of the stock client writing a 40 MB file
+/// to the filer — periodic multi-millisecond spikes from the
+/// `MAX_REQUEST_SOFT` flush-and-wait.
+pub fn figure2() -> LatencyTrace {
+    latency_trace("linux-2.4.4", ClientTuning::linux_2_4_4(), 40 << 20)
+}
+
+/// Figure 3: the same trace with flushing removed (100 MB file) — no
+/// spikes, but latency climbs as the request list grows.
+pub fn figure3() -> LatencyTrace {
+    latency_trace("no-flush", ClientTuning::no_flush(), 100 << 20)
+}
+
+/// Figure 4: the hash-table client (100 MB file) — latency stays flat.
+pub fn figure4() -> LatencyTrace {
+    latency_trace("hash-table", ClientTuning::hash_table(), 100 << 20)
+}
+
+/// Result of a latency-histogram experiment (Figures 5 and 6).
+pub struct HistogramPair {
+    /// Which configuration produced it.
+    pub label: &'static str,
+    /// Latency histogram against the filer.
+    pub filer: Histogram,
+    /// Latency histogram against the Linux server.
+    pub knfsd: Histogram,
+    /// Mean latency against the filer.
+    pub filer_mean: SimDuration,
+    /// Mean latency against the Linux server.
+    pub knfsd_mean: SimDuration,
+    /// Maximum latency against the filer (excluding the first call, as
+    /// the paper does).
+    pub filer_max: SimDuration,
+    /// Maximum latency against the Linux server (excluding the first
+    /// call).
+    pub knfsd_max: SimDuration,
+}
+
+fn histogram_pair(label: &'static str, tuning: ClientTuning) -> HistogramPair {
+    let size = 30 << 20;
+    let filer_out = run_bonnie(&Scenario::new(tuning, ServerKind::Filer), size);
+    let knfsd_out = run_bonnie(&Scenario::new(tuning, ServerKind::Knfsd), size);
+    // The paper excludes the first data point (cold-start, ~1 ms).
+    let f_lat = &filer_out.report.latencies[1..];
+    let k_lat = &knfsd_out.report.latencies[1..];
+    HistogramPair {
+        label,
+        filer: Histogram::from_samples(SimDuration::from_micros(60), 8, f_lat),
+        knfsd: Histogram::from_samples(SimDuration::from_micros(60), 8, k_lat),
+        filer_mean: nfsperf_bonnie::mean(f_lat),
+        knfsd_mean: nfsperf_bonnie::mean(k_lat),
+        filer_max: f_lat.iter().copied().max().unwrap_or(SimDuration::ZERO),
+        knfsd_max: k_lat.iter().copied().max().unwrap_or(SimDuration::ZERO),
+    }
+}
+
+impl HistogramPair {
+    /// CSV rows: `bin_low_us,filer,knfsd` (last row is overflow).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bin_low_us,netapp_filer,linux_nfs_server\n");
+        let w = self.filer.bin_width().as_micros();
+        for (i, (f, k)) in self
+            .filer
+            .bins()
+            .iter()
+            .zip(self.knfsd.bins().iter())
+            .enumerate()
+        {
+            out.push_str(&format!("{},{},{}\n", i as u64 * w, f, k));
+        }
+        out.push_str(&format!(
+            "overflow,{},{}\n",
+            self.filer.overflow(),
+            self.knfsd.overflow()
+        ));
+        out
+    }
+}
+
+/// Figure 5: latency histograms with the global kernel lock held across
+/// `sock_sendmsg` (30 MB file). The *faster* server (the filer) shows
+/// more slow calls.
+pub fn figure5() -> HistogramPair {
+    histogram_pair("normal (BKL held)", ClientTuning::hash_table())
+}
+
+/// Figure 6: the same histograms with the lock released around
+/// `sock_sendmsg` — jitter collapses, minimum latency unchanged.
+pub fn figure6() -> HistogramPair {
+    histogram_pair("no lock", ClientTuning::full_patch())
+}
+
+/// Table 1: client memory write throughput (5 MB file) before and after
+/// the lock modification, against both servers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Filer, BKL held (paper: 115 MB/s).
+    pub filer_normal: f64,
+    /// Filer, lock released (paper: 140 MB/s).
+    pub filer_no_lock: f64,
+    /// Linux server, BKL held (paper: 138 MB/s).
+    pub linux_normal: f64,
+    /// Linux server, lock released (paper: 147 MB/s).
+    pub linux_no_lock: f64,
+}
+
+/// Runs Table 1.
+pub fn table1() -> Table1 {
+    let size = 5 << 20;
+    Table1 {
+        filer_normal: write_throughput_mbps(
+            &Scenario::new(ClientTuning::hash_table(), ServerKind::Filer),
+            size,
+        ),
+        filer_no_lock: write_throughput_mbps(
+            &Scenario::new(ClientTuning::full_patch(), ServerKind::Filer),
+            size,
+        ),
+        linux_normal: write_throughput_mbps(
+            &Scenario::new(ClientTuning::hash_table(), ServerKind::Knfsd),
+            size,
+        ),
+        linux_no_lock: write_throughput_mbps(
+            &Scenario::new(ClientTuning::full_patch(), ServerKind::Knfsd),
+            size,
+        ),
+    }
+}
+
+/// The §3.5 comparison: memory write throughput against servers of
+/// decreasing speed, with the stock (lock-holding) RPC layer, plus where
+/// the writer's lock waits go.
+pub struct SlowServerComparison {
+    /// Memory write throughput against the filer, MB/s.
+    pub filer_mbps: f64,
+    /// Against the Linux server.
+    pub knfsd_mbps: f64,
+    /// Against the 100 Mb/s server.
+    pub slow_mbps: f64,
+    /// Fraction of all lock wait time blamed on the RPC transmit section
+    /// (which contains `sock_sendmsg`) in the filer run.
+    pub xmit_wait_fraction: f64,
+    /// Sustained client network throughput during the filer run, MB/s.
+    pub filer_net_mbps: f64,
+    /// Sustained client network throughput during the knfsd run, MB/s.
+    pub knfsd_net_mbps: f64,
+}
+
+/// Runs the slow-server comparison (5 MB file, BKL held).
+pub fn slow_server_comparison() -> SlowServerComparison {
+    let size = 5 << 20;
+    let tuning = ClientTuning::hash_table();
+    let filer = run_bonnie(&Scenario::new(tuning, ServerKind::Filer), size);
+    let knfsd = run_bonnie(&Scenario::new(tuning, ServerKind::Knfsd), size);
+    let slow = run_bonnie(&Scenario::new(tuning, ServerKind::Slow100), size);
+    let xmit_wait = filer.lock_stats.wait_blamed_on("rpc_xmit").as_nanos() as f64;
+    let total_wait = filer.lock_stats.total_wait.as_nanos().max(1) as f64;
+    SlowServerComparison {
+        filer_mbps: filer.report.write_mbps(),
+        knfsd_mbps: knfsd.report.write_mbps(),
+        slow_mbps: slow.report.write_mbps(),
+        xmit_wait_fraction: xmit_wait / total_wait,
+        filer_net_mbps: filer.net_tx_mbps,
+        knfsd_net_mbps: knfsd.net_tx_mbps,
+    }
+}

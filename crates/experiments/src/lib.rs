@@ -1,0 +1,29 @@
+//! Experiment runners reproducing the paper's evaluation.
+//!
+//! [`figures`] has one runner per exhibit (Figures 1–7, Table 1, the
+//! §3.5 slow-server comparison); [`ablations`] sweeps the design
+//! parameters; [`scenario`] assembles worlds; [`render`] writes CSVs and
+//! ASCII charts.
+
+pub mod ablations;
+pub mod concurrency;
+pub mod figures;
+pub mod render;
+pub mod scenario;
+
+pub use ablations::{
+    commit_threshold_sweep, cpu_ablation, mtu_ablation, nvram_sweep, slot_table_sweep,
+    soft_limit_sweep, workload_comparison, wsize_sweep, CpuAblation, MtuAblation,
+    WorkloadComparison,
+};
+pub use concurrency::{concurrent_writers, future_work_comparison, ConcurrencyResult, Topology};
+pub use figures::{
+    figure1, figure2, figure3, figure4, figure5, figure6, figure7, paper_file_sizes,
+    quick_file_sizes, slow_server_comparison, table1, HistogramPair, LatencyTrace,
+    SlowServerComparison, Table1,
+};
+pub use render::{ascii_table, write_rows_csv, Series, Sweep};
+pub use scenario::{
+    run_bonnie, run_custom, run_local, run_local_with_ram, write_throughput_mbps, RunOutput,
+    Scenario, ServerKind,
+};

@@ -1,0 +1,178 @@
+//! CPU pool: charges modelled execution time against a limited number of
+//! processors.
+//!
+//! The client in the paper is a dual Pentium III; the pool has one permit
+//! per CPU and a task "executes" by holding a permit while simulated time
+//! advances. This is a non-preemptive model — adequate at the microsecond
+//! granularity of the write path, where no single charge exceeds a
+//! scheduling quantum.
+
+use std::rc::Rc;
+
+use nfsperf_sim::{Profiler, Semaphore, Sim, SimDuration, SimRng};
+
+/// A pool of simulated CPUs with per-label execution accounting.
+pub struct CpuPool {
+    sim: Sim,
+    slots: Rc<Semaphore>,
+    profiler: Rc<Profiler>,
+    rng: Rc<SimRng>,
+    jitter_frac: f64,
+    ncpus: usize,
+}
+
+impl CpuPool {
+    /// Creates a pool of `ncpus` processors.
+    ///
+    /// `jitter_frac` is the multiplicative jitter applied to each charge
+    /// (models cache state and minor interrupt skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ncpus` is zero.
+    pub fn new(
+        sim: &Sim,
+        ncpus: usize,
+        profiler: Rc<Profiler>,
+        rng: Rc<SimRng>,
+        jitter_frac: f64,
+    ) -> CpuPool {
+        assert!(ncpus > 0, "need at least one CPU");
+        CpuPool {
+            sim: sim.clone(),
+            slots: Rc::new(Semaphore::new(ncpus)),
+            profiler,
+            rng,
+            jitter_frac,
+            ncpus,
+        }
+    }
+
+    /// Executes `label` for a mean duration `d`: waits for a free CPU,
+    /// occupies it for the (jittered) duration, and charges the profiler.
+    pub async fn work(&self, label: &'static str, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let actual = self.rng.jitter(d, self.jitter_frac);
+        let _permit = self.slots.acquire().await;
+        self.sim.sleep(actual).await;
+        self.profiler.charge(label, actual);
+    }
+
+    /// Like [`CpuPool::work`] but without jitter — for strictly
+    /// deterministic sections (used by a few unit tests and the pure
+    /// data-structure cost charges).
+    pub async fn work_exact(&self, label: &'static str, d: SimDuration) {
+        if d == SimDuration::ZERO {
+            return;
+        }
+        let _permit = self.slots.acquire().await;
+        self.sim.sleep(d).await;
+        self.profiler.charge(label, d);
+    }
+
+    /// Number of processors in the pool.
+    pub fn ncpus(&self) -> usize {
+        self.ncpus
+    }
+
+    /// Number of currently idle processors.
+    pub fn idle(&self) -> usize {
+        self.slots.available()
+    }
+
+    /// The execution-time profiler shared by this pool.
+    pub fn profiler(&self) -> &Rc<Profiler> {
+        &self.profiler
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::SimTime;
+
+    fn pool(sim: &Sim, ncpus: usize) -> Rc<CpuPool> {
+        Rc::new(CpuPool::new(
+            sim,
+            ncpus,
+            Rc::new(Profiler::new()),
+            Rc::new(SimRng::new(1)),
+            0.0,
+        ))
+    }
+
+    #[test]
+    fn single_cpu_serializes_work() {
+        let sim = Sim::new();
+        let cpu = pool(&sim, 1);
+        for _ in 0..3 {
+            let cpu = Rc::clone(&cpu);
+            sim.spawn(async move {
+                cpu.work("job", SimDuration::from_micros(10)).await;
+            });
+        }
+        let s = sim.clone();
+        let end = sim.run_until(async move {
+            while s.live_tasks() > 1 {
+                s.sleep(SimDuration::from_micros(1)).await;
+            }
+            s.now()
+        });
+        assert!(
+            end >= SimTime(30_000),
+            "3 jobs x 10us serialized, got {end}"
+        );
+    }
+
+    #[test]
+    fn two_cpus_run_in_parallel() {
+        let sim = Sim::new();
+        let cpu = pool(&sim, 2);
+        let c1 = Rc::clone(&cpu);
+        let c2 = Rc::clone(&cpu);
+        let s = sim.clone();
+        let end = sim.run_until(async move {
+            let a = s.spawn(async move { c1.work("a", SimDuration::from_micros(10)).await });
+            let b = s.spawn(async move { c2.work("b", SimDuration::from_micros(10)).await });
+            a.await;
+            b.await;
+            s.now()
+        });
+        assert_eq!(end, SimTime(10_000), "parallel work should overlap fully");
+    }
+
+    #[test]
+    fn profiler_accounts_time() {
+        let sim = Sim::new();
+        let cpu = pool(&sim, 1);
+        let c = Rc::clone(&cpu);
+        sim.run_until(async move {
+            c.work("hot_path", SimDuration::from_micros(5)).await;
+            c.work("hot_path", SimDuration::from_micros(5)).await;
+        });
+        assert_eq!(cpu.profiler().time_in("hot_path").as_micros(), 10);
+        assert_eq!(cpu.profiler().hits("hot_path"), 2);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let sim = Sim::new();
+        let cpu = pool(&sim, 1);
+        let c = Rc::clone(&cpu);
+        sim.run_until(async move {
+            c.work("nothing", SimDuration::ZERO).await;
+        });
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(cpu.profiler().hits("nothing"), 0);
+    }
+
+    #[test]
+    fn idle_accounting() {
+        let sim = Sim::new();
+        let cpu = pool(&sim, 2);
+        assert_eq!(cpu.ncpus(), 2);
+        assert_eq!(cpu.idle(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulated Linux-2.4-style kernel substrate.
+//!
+//! Bundles the pieces of the client machine that the paper's write path
+//! runs on: CPUs ([`cpu::CpuPool`]), the global kernel lock, dirty-page
+//! accounting with writer throttling ([`memory::MemoryModel`]), page
+//! arithmetic ([`page`]), the calibrated cost table ([`costs::CostTable`])
+//! and the VFS file trait ([`vfs::SimFile`]).
+
+pub mod costs;
+pub mod cpu;
+pub mod memory;
+pub mod page;
+pub mod vfs;
+
+use std::rc::Rc;
+
+use nfsperf_sim::{Profiler, Sim, SimLock, SimRng};
+
+pub use costs::CostTable;
+pub use cpu::CpuPool;
+pub use memory::MemoryModel;
+pub use page::{page_index, page_start, pages_for, split_into_pages, PageSegment, PAGE_SIZE};
+pub use vfs::{SimFile, VfsError, VfsResult};
+
+/// Configuration for a simulated client machine.
+#[derive(Debug, Clone)]
+pub struct KernelConfig {
+    /// Number of processors (the paper's client is a dual P3).
+    pub ncpus: usize,
+    /// Installed RAM in bytes (the paper's client has 256 MB).
+    pub ram_bytes: u64,
+    /// Seed for all randomness on this machine.
+    pub seed: u64,
+    /// CPU cost table.
+    pub costs: CostTable,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            ncpus: 2,
+            ram_bytes: 256 * 1024 * 1024,
+            seed: 0x5eed,
+            costs: CostTable::default(),
+        }
+    }
+}
+
+/// A simulated client machine: CPUs, RAM, the global kernel lock, and the
+/// shared measurement instruments.
+///
+/// Cheap to clone; all state is behind `Rc`.
+#[derive(Clone)]
+pub struct Kernel {
+    /// The simulator this machine lives in.
+    pub sim: Sim,
+    /// The machine's processors.
+    pub cpus: Rc<CpuPool>,
+    /// The Linux 2.4 global kernel lock (BKL).
+    pub bkl: Rc<SimLock>,
+    /// Dirty-page accounting and writer throttling.
+    pub mem: Rc<MemoryModel>,
+    /// Shared execution profiler (same instance the CPU pool charges).
+    pub profiler: Rc<Profiler>,
+    /// Machine-local randomness.
+    pub rng: Rc<SimRng>,
+    /// The calibrated cost table.
+    pub costs: Rc<CostTable>,
+}
+
+impl Kernel {
+    /// Boots a simulated machine into `sim`.
+    pub fn new(sim: &Sim, config: KernelConfig) -> Kernel {
+        let profiler = Rc::new(Profiler::new());
+        let rng = Rc::new(SimRng::new(config.seed));
+        let cpus = Rc::new(CpuPool::new(
+            sim,
+            config.ncpus,
+            Rc::clone(&profiler),
+            Rc::clone(&rng),
+            config.costs.cpu_jitter_frac,
+        ));
+        Kernel {
+            sim: sim.clone(),
+            cpus,
+            bkl: Rc::new(SimLock::new(sim)),
+            mem: Rc::new(MemoryModel::for_ram(sim, config.ram_bytes)),
+            profiler,
+            rng,
+            costs: Rc::new(config.costs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_client() {
+        let c = KernelConfig::default();
+        assert_eq!(c.ncpus, 2);
+        assert_eq!(c.ram_bytes, 256 * 1024 * 1024);
+    }
+
+    #[test]
+    fn kernel_boots() {
+        let sim = Sim::new();
+        let k = Kernel::new(&sim, KernelConfig::default());
+        assert_eq!(k.cpus.ncpus(), 2);
+        assert!(!k.bkl.is_locked());
+        assert_eq!(k.mem.dirty_pages(), 0);
+    }
+
+    #[test]
+    fn kernel_clone_shares_state() {
+        let sim = Sim::new();
+        let k = Kernel::new(&sim, KernelConfig::default());
+        let k2 = k.clone();
+        k.profiler
+            .charge("x", nfsperf_sim::SimDuration::from_micros(1));
+        assert_eq!(k2.profiler.hits("x"), 1);
+    }
+}

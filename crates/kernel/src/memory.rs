@@ -1,0 +1,300 @@
+//! Client memory model: dirty-page accounting and writer throttling.
+//!
+//! The paper's Figures 1 and 7 hinge on what happens when the benchmark
+//! file outgrows client RAM (256 MB): the VFS blocks the writer until
+//! writeback frees pages, so application throughput collapses to
+//! network/server/disk speed. This module models exactly that and nothing
+//! more: a budget of pages, a hard limit at which page allocation blocks,
+//! and a background threshold at which the write-behind daemon should be
+//! kicked.
+
+use std::cell::Cell;
+
+use nfsperf_sim::{Sim, SimDuration, SimTime, WaitQueue};
+
+/// Dirty-page budget with writer throttling.
+///
+/// "Dirty" here means *pinned by an outstanding write*: for NFS a page
+/// stays pinned until its WRITE (and, for unstable writes, COMMIT) is
+/// complete; for ext2 until `bdflush` has written it to disk.
+pub struct MemoryModel {
+    sim: Sim,
+    /// Pages that may be pinned dirty before writers block.
+    hard_limit: usize,
+    /// Dirty level above which background writeback should run.
+    background_limit: usize,
+    dirty: Cell<usize>,
+    peak_dirty: Cell<usize>,
+    throttle_events: Cell<u64>,
+    throttle_time: Cell<u64>,
+    /// Writers blocked on the hard limit.
+    throttled: WaitQueue,
+    /// Writeback daemons waiting for the background threshold.
+    writeback_kick: WaitQueue,
+}
+
+impl MemoryModel {
+    /// Creates a budget of `hard_limit` pinnable pages with background
+    /// writeback starting at `background_limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `background_limit > hard_limit` or `hard_limit == 0`.
+    pub fn new(sim: &Sim, hard_limit: usize, background_limit: usize) -> MemoryModel {
+        assert!(hard_limit > 0, "page budget must be positive");
+        assert!(
+            background_limit <= hard_limit,
+            "background limit {background_limit} exceeds hard limit {hard_limit}"
+        );
+        MemoryModel {
+            sim: sim.clone(),
+            hard_limit,
+            background_limit,
+            dirty: Cell::new(0),
+            peak_dirty: Cell::new(0),
+            throttle_events: Cell::new(0),
+            throttle_time: Cell::new(0),
+            throttled: WaitQueue::new(),
+            writeback_kick: WaitQueue::new(),
+        }
+    }
+
+    /// Builds a model sized for `ram_bytes` of RAM: the hard limit is the
+    /// usable page-cache share (about 7/8 of RAM, the rest being kernel
+    /// text and anonymous memory) and background writeback starts at half
+    /// of it — 2.4's `bdflush` default of ~40–60 % dirty.
+    pub fn for_ram(sim: &Sim, ram_bytes: u64) -> MemoryModel {
+        let pages = (ram_bytes / crate::page::PAGE_SIZE) as usize;
+        let hard = pages * 7 / 8;
+        MemoryModel::new(sim, hard, hard / 2)
+    }
+
+    /// Pins one page as dirty, blocking while the hard limit is reached.
+    ///
+    /// Wakes background writeback when crossing the background threshold.
+    pub async fn pin_dirty_page(&self) {
+        if self.dirty.get() >= self.hard_limit {
+            self.throttle_events.set(self.throttle_events.get() + 1);
+            // Make sure writeback is running before we sleep on it.
+            self.writeback_kick.wake_all();
+            let began: SimTime = self.sim.now();
+            while self.dirty.get() >= self.hard_limit {
+                self.throttled.wait().await;
+            }
+            let waited = self.sim.now().since(began).as_nanos();
+            self.throttle_time.set(self.throttle_time.get() + waited);
+        }
+        let d = self.dirty.get() + 1;
+        self.dirty.set(d);
+        self.peak_dirty.set(self.peak_dirty.get().max(d));
+        if d > self.background_limit {
+            self.writeback_kick.wake_all();
+        }
+    }
+
+    /// Unpins one page (its write reached stable storage or the server),
+    /// waking one throttled writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no page is pinned — a double-release bug in the caller.
+    pub fn release_page(&self) {
+        let d = self.dirty.get();
+        assert!(d > 0, "release_page with no pinned pages");
+        self.dirty.set(d - 1);
+        if d - 1 < self.hard_limit {
+            self.throttled.wake_one();
+        }
+    }
+
+    /// Parks a writeback daemon until the background threshold is crossed
+    /// (or someone kicks writeback explicitly), or until `timeout` elapses.
+    pub async fn wait_for_writeback_work(&self, timeout: SimDuration) {
+        if self.dirty.get() > self.background_limit {
+            return;
+        }
+        let deadline = self.sim.now() + timeout;
+        let kicked = self.writeback_kick.wait();
+        let timer = self.sim.sleep_until(deadline);
+        // Wait for whichever comes first; both are cheap to abandon.
+        futures_select2(kicked, timer).await;
+    }
+
+    /// Explicitly kicks writeback daemons (e.g. on `fsync`).
+    pub fn kick_writeback(&self) {
+        self.writeback_kick.wake_all();
+    }
+
+    /// Currently pinned dirty pages.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.get()
+    }
+
+    /// Highest dirty-page level seen.
+    pub fn peak_dirty_pages(&self) -> usize {
+        self.peak_dirty.get()
+    }
+
+    /// `true` if background writeback should run.
+    pub fn over_background_limit(&self) -> bool {
+        self.dirty.get() > self.background_limit
+    }
+
+    /// The hard (blocking) limit in pages.
+    pub fn hard_limit(&self) -> usize {
+        self.hard_limit
+    }
+
+    /// The background-writeback threshold in pages.
+    pub fn background_limit(&self) -> usize {
+        self.background_limit
+    }
+
+    /// How many times a writer hit the hard limit.
+    pub fn throttle_events(&self) -> u64 {
+        self.throttle_events.get()
+    }
+
+    /// Total time writers spent blocked on the hard limit.
+    pub fn throttle_time(&self) -> SimDuration {
+        SimDuration(self.throttle_time.get())
+    }
+}
+
+/// Awaits whichever of two futures completes first, dropping the other.
+async fn futures_select2<A, B>(a: A, b: B)
+where
+    A: std::future::Future<Output = ()>,
+    B: std::future::Future<Output = ()>,
+{
+    use std::pin::pin;
+    use std::task::Poll;
+
+    let mut a = pin!(a);
+    let mut b = pin!(b);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(()) = a.as_mut().poll(cx) {
+            return Poll::Ready(());
+        }
+        if let Poll::Ready(()) = b.as_mut().poll(cx) {
+            return Poll::Ready(());
+        }
+        Poll::Pending
+    })
+    .await;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::Sim;
+    use std::rc::Rc;
+
+    #[test]
+    fn pin_and_release_track_counts() {
+        let sim = Sim::new();
+        let mem = Rc::new(MemoryModel::new(&sim, 10, 5));
+        let m = Rc::clone(&mem);
+        sim.run_until(async move {
+            for _ in 0..7 {
+                m.pin_dirty_page().await;
+            }
+            assert_eq!(m.dirty_pages(), 7);
+            assert!(m.over_background_limit());
+            m.release_page();
+            assert_eq!(m.dirty_pages(), 6);
+            assert_eq!(m.peak_dirty_pages(), 7);
+        });
+    }
+
+    #[test]
+    fn writer_blocks_at_hard_limit() {
+        let sim = Sim::new();
+        let mem = Rc::new(MemoryModel::new(&sim, 2, 1));
+        let m = Rc::clone(&mem);
+        let s = sim.clone();
+        let writer = sim.spawn(async move {
+            for _ in 0..3 {
+                m.pin_dirty_page().await;
+            }
+            s.now()
+        });
+        let m2 = Rc::clone(&mem);
+        let s2 = sim.clone();
+        let done_at = sim.run_until(async move {
+            s2.sleep(SimDuration::from_micros(50)).await;
+            assert_eq!(m2.dirty_pages(), 2, "third pin must be blocked");
+            m2.release_page();
+            writer.await
+        });
+        assert_eq!(done_at.as_nanos(), 50_000);
+        assert_eq!(mem.throttle_events(), 1);
+        assert_eq!(mem.throttle_time().as_micros(), 50);
+        assert_eq!(mem.dirty_pages(), 2);
+    }
+
+    #[test]
+    fn for_ram_sizes_sensibly() {
+        let sim = Sim::new();
+        let mem = MemoryModel::for_ram(&sim, 256 * 1024 * 1024);
+        // 65536 pages of RAM; hard limit 7/8 of that.
+        assert_eq!(mem.hard_limit(), 57_344);
+        assert_eq!(mem.background_limit(), 28_672);
+    }
+
+    #[test]
+    fn writeback_wait_returns_on_kick() {
+        let sim = Sim::new();
+        let mem = Rc::new(MemoryModel::new(&sim, 100, 50));
+        let m = Rc::clone(&mem);
+        let s = sim.clone();
+        let daemon = sim.spawn(async move {
+            m.wait_for_writeback_work(SimDuration::from_secs(60)).await;
+            s.now()
+        });
+        let m2 = Rc::clone(&mem);
+        let s2 = sim.clone();
+        let woke_at = sim.run_until(async move {
+            s2.sleep(SimDuration::from_micros(10)).await;
+            m2.kick_writeback();
+            daemon.await
+        });
+        assert_eq!(woke_at.as_nanos(), 10_000, "kick should beat the timeout");
+    }
+
+    #[test]
+    fn writeback_wait_returns_on_timeout() {
+        let sim = Sim::new();
+        let mem = Rc::new(MemoryModel::new(&sim, 100, 50));
+        let m = Rc::clone(&mem);
+        let s = sim.clone();
+        let woke_at = sim.run_until(async move {
+            m.wait_for_writeback_work(SimDuration::from_millis(5)).await;
+            s.now()
+        });
+        assert_eq!(woke_at.as_nanos(), 5_000_000);
+    }
+
+    #[test]
+    fn writeback_wait_immediate_when_over_limit() {
+        let sim = Sim::new();
+        let mem = Rc::new(MemoryModel::new(&sim, 100, 2));
+        let m = Rc::clone(&mem);
+        sim.run_until(async move {
+            for _ in 0..3 {
+                m.pin_dirty_page().await;
+            }
+            m.wait_for_writeback_work(SimDuration::from_secs(60)).await;
+            // Reaching here without the deadlock panic is the assertion.
+        });
+        assert_eq!(sim.now().as_nanos(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "release_page with no pinned pages")]
+    fn double_release_panics() {
+        let sim = Sim::new();
+        let mem = MemoryModel::new(&sim, 4, 2);
+        mem.release_page();
+    }
+}

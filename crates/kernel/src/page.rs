@@ -1,0 +1,171 @@
+//! Page-size constants and arithmetic.
+//!
+//! The modelled client is an i686 Linux 2.4 machine, so pages are 4 KiB.
+//! An 8 KiB Bonnie `write()` therefore always touches two pages — the
+//! origin of the paper's "every system call in our test generates two
+//! write requests".
+
+/// Bytes per page (i686).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Index of the page containing byte `offset`.
+#[inline]
+pub fn page_index(offset: u64) -> u64 {
+    offset / PAGE_SIZE
+}
+
+/// Byte offset of the start of page `index`.
+#[inline]
+pub fn page_start(index: u64) -> u64 {
+    index * PAGE_SIZE
+}
+
+/// Number of pages needed to hold `bytes` bytes.
+#[inline]
+pub fn pages_for(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+/// A byte range confined to a single page.
+///
+/// Produced by [`split_into_pages`]; the VFS hands file systems writes one
+/// page at a time, which is why the NFS client maintains one internal
+/// request per page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageSegment {
+    /// Page index within the file.
+    pub index: u64,
+    /// Offset of the segment within the page.
+    pub offset_in_page: u64,
+    /// Segment length in bytes (`1..=PAGE_SIZE`).
+    pub len: u64,
+}
+
+impl PageSegment {
+    /// Absolute file offset of the segment start.
+    pub fn file_offset(&self) -> u64 {
+        page_start(self.index) + self.offset_in_page
+    }
+}
+
+/// Splits the byte range `[offset, offset + len)` into per-page segments,
+/// in ascending page order — the unit at which `generic_file_write` calls
+/// into a file system's `prepare_write`/`commit_write`.
+pub fn split_into_pages(offset: u64, len: u64) -> Vec<PageSegment> {
+    let mut segments = Vec::new();
+    let mut pos = offset;
+    let end = offset + len;
+    while pos < end {
+        let index = page_index(pos);
+        let offset_in_page = pos - page_start(index);
+        let take = (PAGE_SIZE - offset_in_page).min(end - pos);
+        segments.push(PageSegment {
+            index,
+            offset_in_page,
+            len: take,
+        });
+        pos += take;
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_math() {
+        assert_eq!(page_index(0), 0);
+        assert_eq!(page_index(4095), 0);
+        assert_eq!(page_index(4096), 1);
+        assert_eq!(page_start(3), 12288);
+        assert_eq!(pages_for(0), 0);
+        assert_eq!(pages_for(1), 1);
+        assert_eq!(pages_for(4096), 1);
+        assert_eq!(pages_for(4097), 2);
+    }
+
+    #[test]
+    fn aligned_8k_write_is_two_pages() {
+        let segs = split_into_pages(8192, 8192);
+        assert_eq!(
+            segs,
+            vec![
+                PageSegment {
+                    index: 2,
+                    offset_in_page: 0,
+                    len: 4096
+                },
+                PageSegment {
+                    index: 3,
+                    offset_in_page: 0,
+                    len: 4096
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn unaligned_write_spans_three_pages() {
+        let segs = split_into_pages(4000, 8192);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(
+            segs[0],
+            PageSegment {
+                index: 0,
+                offset_in_page: 4000,
+                len: 96
+            }
+        );
+        assert_eq!(
+            segs[1],
+            PageSegment {
+                index: 1,
+                offset_in_page: 0,
+                len: 4096
+            }
+        );
+        assert_eq!(
+            segs[2],
+            PageSegment {
+                index: 2,
+                offset_in_page: 0,
+                len: 4000
+            }
+        );
+        let total: u64 = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 8192);
+    }
+
+    #[test]
+    fn sub_page_write() {
+        let segs = split_into_pages(100, 50);
+        assert_eq!(
+            segs,
+            vec![PageSegment {
+                index: 0,
+                offset_in_page: 100,
+                len: 50
+            }]
+        );
+        assert_eq!(segs[0].file_offset(), 100);
+    }
+
+    #[test]
+    fn empty_write_yields_nothing() {
+        assert!(split_into_pages(123, 0).is_empty());
+    }
+
+    #[test]
+    fn segments_are_contiguous_and_cover_range() {
+        let segs = split_into_pages(777, 20_000);
+        let mut pos = 777;
+        for s in &segs {
+            assert_eq!(s.file_offset(), pos);
+            assert!(s.len > 0 && s.len <= PAGE_SIZE);
+            assert!(s.offset_in_page + s.len <= PAGE_SIZE);
+            pos += s.len;
+        }
+        assert_eq!(pos, 777 + 20_000);
+    }
+}

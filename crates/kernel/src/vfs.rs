@@ -1,0 +1,56 @@
+//! Minimal VFS layer: the file abstraction the benchmark writes through.
+//!
+//! The benchmark does not care whether it writes to NFS or ext2, just like
+//! Bonnie does not; [`SimFile`] is the seam. `write` takes an offset and a
+//! length rather than data — the simulation models *costs*, not contents —
+//! while the protocol crates still encode real (synthetic) bytes when a
+//! message needs a wire size.
+
+use std::future::Future;
+
+/// Errors surfaced by the simulated file systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// The file was already closed.
+    Closed,
+    /// The server rejected an operation (carries the protocol status).
+    Server(u32),
+}
+
+impl std::fmt::Display for VfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VfsError::Closed => write!(f, "file is closed"),
+            VfsError::Server(s) => write!(f, "server error status {s}"),
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Result alias for VFS operations.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+/// A writable simulated file.
+///
+/// Implemented by the NFS client (`nfsperf-client`) and the local ext2
+/// model (`nfsperf-ext2`); consumed generically by the Bonnie benchmark.
+pub trait SimFile {
+    /// Writes `len` bytes at byte `offset`, returning the bytes written.
+    ///
+    /// Blocks (in simulated time) exactly where the modelled kernel write
+    /// path would: page allocation under memory pressure, the 2.4.4
+    /// soft/hard request limits, lock acquisition.
+    fn write(&self, offset: u64, len: u64) -> impl Future<Output = VfsResult<u64>>;
+
+    /// Flushes all dirty data (and for NFS, commits it), returning when
+    /// everything the file has accepted is durable at its destination.
+    fn fsync(&self) -> impl Future<Output = VfsResult<()>>;
+
+    /// Closes the file. NFS flushes completely before the last close
+    /// (close-to-open consistency); ext2 may leave dirty data cached.
+    fn close(&self) -> impl Future<Output = VfsResult<()>>;
+
+    /// Total bytes accepted by `write` so far.
+    fn bytes_written(&self) -> u64;
+}

@@ -1,0 +1,93 @@
+//! Wire-size arithmetic: UDP/IP fragmentation and Ethernet framing.
+//!
+//! The paper suspects IP fragmentation as a major part of the 50 µs
+//! per-RPC network cost and points at jumbo frames as the remedy; getting
+//! fragment counts right therefore matters. An `rsize=wsize=8192` NFSv3
+//! WRITE over UDP is an ~8.25 KB datagram, which at the standard 1500-byte
+//! MTU fragments into six IP fragments; with 9000-byte jumbo frames it
+//! fits in one.
+
+/// IPv4 header bytes per fragment.
+pub const IP_HEADER: usize = 20;
+/// UDP header bytes (first fragment only).
+pub const UDP_HEADER: usize = 8;
+/// Ethernet overhead per frame: 14 header + 4 FCS + 8 preamble + 12
+/// inter-frame gap.
+pub const ETHERNET_OVERHEAD: usize = 38;
+
+/// Number of IP fragments needed to carry a UDP payload of `udp_payload`
+/// bytes at the given `mtu`.
+///
+/// Fragment payloads are multiples of 8 bytes except the last (RFC 791).
+///
+/// # Panics
+///
+/// Panics if `mtu` cannot carry any payload (≤ [`IP_HEADER`]).
+pub fn fragments_for(udp_payload: usize, mtu: usize) -> usize {
+    assert!(mtu > IP_HEADER + 8, "mtu {mtu} too small to fragment into");
+    let total = udp_payload + UDP_HEADER;
+    // Per-fragment IP payload, rounded down to an 8-byte boundary.
+    let per_frag = (mtu - IP_HEADER) & !7;
+    total.div_ceil(per_frag).max(1)
+}
+
+/// Total bytes on the wire (including all framing) for a UDP datagram of
+/// `udp_payload` bytes sent at the given `mtu`.
+pub fn wire_bytes(udp_payload: usize, mtu: usize) -> usize {
+    let frags = fragments_for(udp_payload, mtu);
+    udp_payload + UDP_HEADER + frags * (IP_HEADER + ETHERNET_OVERHEAD)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_datagram_is_one_fragment() {
+        assert_eq!(fragments_for(100, 1500), 1);
+        assert_eq!(wire_bytes(100, 1500), 100 + 8 + 20 + 38);
+    }
+
+    #[test]
+    fn write_rpc_fragments_six_ways_at_standard_mtu() {
+        // An 8 KiB WRITE3 body plus RPC header is ~8.3 KB.
+        let rpc = 8192 + 56 + 120;
+        assert_eq!(fragments_for(rpc, 1500), 6);
+    }
+
+    #[test]
+    fn jumbo_frames_eliminate_fragmentation() {
+        let rpc = 8192 + 56 + 120;
+        assert_eq!(fragments_for(rpc, 9000), 1);
+        assert!(wire_bytes(rpc, 9000) < wire_bytes(rpc, 1500));
+    }
+
+    #[test]
+    fn fragment_boundary_exact_fit() {
+        // 1480 bytes of IP payload fit exactly in one 1500-byte fragment.
+        assert_eq!(fragments_for(1480 - UDP_HEADER, 1500), 1);
+        assert_eq!(fragments_for(1480 - UDP_HEADER + 1, 1500), 2);
+    }
+
+    #[test]
+    fn zero_payload_still_one_fragment() {
+        assert_eq!(fragments_for(0, 1500), 1);
+    }
+
+    #[test]
+    fn wire_bytes_monotonic_in_payload() {
+        let mut prev = 0;
+        for payload in (0..20_000).step_by(997) {
+            let w = wire_bytes(payload, 1500);
+            assert!(w >= prev);
+            assert!(w > payload);
+            prev = w;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_mtu_panics() {
+        fragments_for(100, 20);
+    }
+}

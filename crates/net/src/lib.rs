@@ -1,0 +1,78 @@
+//! Simulated network substrate: NICs, links, fragmentation, byte meters.
+//!
+//! The test bed of the paper is a gigabit Ethernet switch (Extreme
+//! Networks Summit7i) connecting a dual-CPU client, a Network Appliance
+//! F85 filer, and a four-way Linux NFS server whose NIC sits in a slow
+//! 32-bit/33 MHz PCI slot. [`NicSpec`] captures each interface; transfers
+//! pay for serialization at the sender, propagation through the switch,
+//! and drain time at the (possibly slower) receiver, with IP fragmentation
+//! computed from real datagram sizes ([`frame`]).
+
+pub mod frame;
+pub mod nic;
+
+pub use frame::{fragments_for, wire_bytes, ETHERNET_OVERHEAD, IP_HEADER, UDP_HEADER};
+pub use nic::{DatagramPayload, Nic, NicSpec};
+
+use nfsperf_sim::SimDuration;
+
+/// A configured path between two NICs: who to send to and how far away.
+///
+/// The switch adds a fixed store-and-forward latency; the paper's
+/// Summit7i is a few microseconds, and end-host interrupt coalescing adds
+/// tens more, so the default one-way latency is 30 µs.
+#[derive(Clone)]
+pub struct Path {
+    /// The local interface.
+    pub local: std::rc::Rc<Nic>,
+    /// The remote interface.
+    pub remote: std::rc::Rc<Nic>,
+    /// One-way propagation + switching latency.
+    pub latency: SimDuration,
+}
+
+impl Path {
+    /// Default one-way latency through the test-bed switch.
+    pub fn default_latency() -> SimDuration {
+        SimDuration::from_micros(30)
+    }
+
+    /// Sends one datagram along the path (asynchronously).
+    pub fn send(&self, payload: DatagramPayload) {
+        self.local.transmit(&self.remote, self.latency, payload);
+    }
+
+    /// The reverse path.
+    pub fn reversed(&self) -> Path {
+        Path {
+            local: std::rc::Rc::clone(&self.remote),
+            remote: std::rc::Rc::clone(&self.local),
+            latency: self.latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::Sim;
+
+    #[test]
+    fn path_send_and_reverse() {
+        let sim = Sim::new();
+        let (a, arx) = Nic::new(&sim, "a", NicSpec::gigabit());
+        let (b, brx) = Nic::new(&sim, "b", NicSpec::gigabit());
+        let ab = Path {
+            local: a,
+            remote: b,
+            latency: Path::default_latency(),
+        };
+        let ba = ab.reversed();
+        ab.send(vec![1; 10]);
+        ba.send(vec![2; 20]);
+        let (got_b, got_a) =
+            sim.run_until(async move { (brx.recv().await.unwrap(), arx.recv().await.unwrap()) });
+        assert_eq!(got_b, vec![1; 10]);
+        assert_eq!(got_a, vec![2; 20]);
+    }
+}

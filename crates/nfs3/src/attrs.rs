@@ -1,0 +1,353 @@
+//! File attributes: `fattr3`, `sattr3` and weak cache consistency data
+//! (RFC 1813 §2.6).
+
+use nfsperf_xdr::{Decoder, Encoder, XdrDecode, XdrEncode, XdrError};
+
+/// NFSv3 file types (`ftype3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u32)]
+pub enum Ftype3 {
+    /// Regular file.
+    Reg = 1,
+    /// Directory.
+    Dir = 2,
+}
+
+impl XdrEncode for Ftype3 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self as u32);
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl XdrDecode for Ftype3 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            1 => Ok(Ftype3::Reg),
+            2 => Ok(Ftype3::Dir),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+/// An NFSv3 timestamp (`nfstime3`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NfsTime3 {
+    /// Seconds since the epoch.
+    pub seconds: u32,
+    /// Nanoseconds within the second.
+    pub nseconds: u32,
+}
+
+impl XdrEncode for NfsTime3 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.seconds);
+        enc.put_u32(self.nseconds);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl XdrDecode for NfsTime3 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(NfsTime3 {
+            seconds: dec.get_u32()?,
+            nseconds: dec.get_u32()?,
+        })
+    }
+}
+
+/// Full file attributes (`fattr3`, RFC 1813 §2.6) — a fixed 84-byte
+/// structure on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fattr3 {
+    /// File type.
+    pub ftype: Ftype3,
+    /// Permission bits.
+    pub mode: u32,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// File size in bytes.
+    pub size: u64,
+    /// Bytes actually used on disk.
+    pub used: u64,
+    /// Device numbers (major, minor); zero for regular files.
+    pub rdev: (u32, u32),
+    /// File-system id.
+    pub fsid: u64,
+    /// File id (inode number).
+    pub fileid: u64,
+    /// Last access time.
+    pub atime: NfsTime3,
+    /// Last modification time.
+    pub mtime: NfsTime3,
+    /// Last attribute change time.
+    pub ctime: NfsTime3,
+}
+
+impl Fattr3 {
+    /// Attributes for a fresh regular file of the given id and size.
+    pub fn regular(fileid: u64, size: u64) -> Fattr3 {
+        Fattr3 {
+            ftype: Ftype3::Reg,
+            mode: 0o644,
+            nlink: 1,
+            uid: 0,
+            gid: 0,
+            size,
+            used: size,
+            rdev: (0, 0),
+            fsid: 1,
+            fileid,
+            atime: NfsTime3::default(),
+            mtime: NfsTime3::default(),
+            ctime: NfsTime3::default(),
+        }
+    }
+}
+
+/// Wire size of an encoded `fattr3`.
+pub const FATTR3_WIRE_LEN: usize = 84;
+
+impl XdrEncode for Fattr3 {
+    fn encode(&self, enc: &mut Encoder) {
+        self.ftype.encode(enc);
+        enc.put_u32(self.mode);
+        enc.put_u32(self.nlink);
+        enc.put_u32(self.uid);
+        enc.put_u32(self.gid);
+        enc.put_u64(self.size);
+        enc.put_u64(self.used);
+        enc.put_u32(self.rdev.0);
+        enc.put_u32(self.rdev.1);
+        enc.put_u64(self.fsid);
+        enc.put_u64(self.fileid);
+        self.atime.encode(enc);
+        self.mtime.encode(enc);
+        self.ctime.encode(enc);
+    }
+    fn encoded_len(&self) -> usize {
+        FATTR3_WIRE_LEN
+    }
+}
+
+impl XdrDecode for Fattr3 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(Fattr3 {
+            ftype: Ftype3::decode(dec)?,
+            mode: dec.get_u32()?,
+            nlink: dec.get_u32()?,
+            uid: dec.get_u32()?,
+            gid: dec.get_u32()?,
+            size: dec.get_u64()?,
+            used: dec.get_u64()?,
+            rdev: (dec.get_u32()?, dec.get_u32()?),
+            fsid: dec.get_u64()?,
+            fileid: dec.get_u64()?,
+            atime: NfsTime3::decode(dec)?,
+            mtime: NfsTime3::decode(dec)?,
+            ctime: NfsTime3::decode(dec)?,
+        })
+    }
+}
+
+/// Settable attributes (`sattr3`); only the fields the benchmark needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sattr3 {
+    /// New mode, if set.
+    pub mode: Option<u32>,
+    /// New size (truncate), if set.
+    pub size: Option<u64>,
+}
+
+impl XdrEncode for Sattr3 {
+    fn encode(&self, enc: &mut Encoder) {
+        self.mode.encode(enc);
+        // uid, gid: not set.
+        enc.put_u32(0);
+        enc.put_u32(0);
+        self.size.encode(enc);
+        // atime, mtime: don't change (enum set_to = 0).
+        enc.put_u32(0);
+        enc.put_u32(0);
+    }
+}
+
+impl XdrDecode for Sattr3 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        let mode = Option::<u32>::decode(dec)?;
+        let _uid = Option::<u32>::decode(dec)?;
+        let _gid = Option::<u32>::decode(dec)?;
+        let size = Option::<u64>::decode(dec)?;
+        let _atime = dec.get_u32()?;
+        let _mtime = dec.get_u32()?;
+        Ok(Sattr3 { mode, size })
+    }
+}
+
+/// Pre-operation attributes for weak cache consistency (`wcc_attr`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WccAttr {
+    /// File size before the operation.
+    pub size: u64,
+    /// mtime before the operation.
+    pub mtime: NfsTime3,
+    /// ctime before the operation.
+    pub ctime: NfsTime3,
+}
+
+impl XdrEncode for WccAttr {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.size);
+        self.mtime.encode(enc);
+        self.ctime.encode(enc);
+    }
+    fn encoded_len(&self) -> usize {
+        24
+    }
+}
+
+impl XdrDecode for WccAttr {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(WccAttr {
+            size: dec.get_u64()?,
+            mtime: NfsTime3::decode(dec)?,
+            ctime: NfsTime3::decode(dec)?,
+        })
+    }
+}
+
+/// Weak cache consistency data (`wcc_data`, RFC 1813 §2.6): optional
+/// before/after attributes carried by WRITE and COMMIT replies.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WccData {
+    /// Attributes before the operation.
+    pub before: Option<WccAttr>,
+    /// Attributes after the operation.
+    pub after: Option<Fattr3>,
+}
+
+impl WccData {
+    /// The full before/after pair the simulated servers always return.
+    pub fn full(before_size: u64, after: Fattr3) -> WccData {
+        WccData {
+            before: Some(WccAttr {
+                size: before_size,
+                ..WccAttr::default()
+            }),
+            after: Some(after),
+        }
+    }
+}
+
+impl XdrEncode for WccData {
+    fn encode(&self, enc: &mut Encoder) {
+        self.before.encode(enc);
+        self.after.encode(enc);
+    }
+    fn encoded_len(&self) -> usize {
+        self.before.encoded_len() + self.after.encoded_len()
+    }
+}
+
+impl XdrDecode for WccData {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        Ok(WccData {
+            before: Option::<WccAttr>::decode(dec)?,
+            after: Option::<Fattr3>::decode(dec)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: XdrEncode + XdrDecode + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut enc = Encoder::new();
+        v.encode(&mut enc);
+        assert_eq!(enc.len(), v.encoded_len(), "encoded_len mismatch");
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = T::decode(&mut dec).expect("decode");
+        assert_eq!(&back, v);
+        assert!(dec.is_empty(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn fattr3_is_84_bytes() {
+        let a = Fattr3::regular(7, 4096);
+        let mut enc = Encoder::new();
+        a.encode(&mut enc);
+        assert_eq!(enc.len(), 84);
+    }
+
+    #[test]
+    fn fattr3_round_trip() {
+        let mut a = Fattr3::regular(123, 1 << 30);
+        a.mode = 0o600;
+        a.nlink = 3;
+        a.atime = NfsTime3 {
+            seconds: 10,
+            nseconds: 20,
+        };
+        round_trip(&a);
+    }
+
+    #[test]
+    fn ftype_round_trip_and_reject() {
+        round_trip(&Ftype3::Reg);
+        round_trip(&Ftype3::Dir);
+        let bytes = 0u32.to_be_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(Ftype3::decode(&mut dec).is_err());
+    }
+
+    #[test]
+    fn wcc_attr_round_trip() {
+        round_trip(&WccAttr {
+            size: 8192,
+            mtime: NfsTime3 {
+                seconds: 1,
+                nseconds: 2,
+            },
+            ctime: NfsTime3 {
+                seconds: 3,
+                nseconds: 4,
+            },
+        });
+    }
+
+    #[test]
+    fn wcc_data_empty_and_full() {
+        round_trip(&WccData::default());
+        round_trip(&WccData::full(100, Fattr3::regular(9, 200)));
+    }
+
+    #[test]
+    fn sattr3_truncate_round_trip() {
+        let s = Sattr3 {
+            mode: Some(0o644),
+            size: Some(0),
+        };
+        let mut enc = Encoder::new();
+        s.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(Sattr3::decode(&mut dec).unwrap(), s);
+    }
+
+    #[test]
+    fn wcc_full_has_before_and_after() {
+        let w = WccData::full(11, Fattr3::regular(1, 22));
+        assert_eq!(w.before.unwrap().size, 11);
+        assert_eq!(w.after.unwrap().size, 22);
+    }
+}

@@ -1,0 +1,210 @@
+//! Server-side file table: the minimal exported file system behind the
+//! simulated NFS servers.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use nfsperf_nfs3::{Fattr3, FileHandle, NfsStat3};
+
+/// Root directory file id.
+pub const ROOT_FILEID: u64 = 1;
+
+struct FileEntry {
+    name: String,
+    size: u64,
+}
+
+/// The exported tree: a single root directory of regular files.
+pub struct FsState {
+    files: RefCell<HashMap<u64, FileEntry>>,
+    by_name: RefCell<HashMap<String, u64>>,
+    next_id: std::cell::Cell<u64>,
+}
+
+impl Default for FsState {
+    fn default() -> Self {
+        FsState::new()
+    }
+}
+
+impl FsState {
+    /// Creates an empty export.
+    pub fn new() -> FsState {
+        FsState {
+            files: RefCell::new(HashMap::new()),
+            by_name: RefCell::new(HashMap::new()),
+            next_id: std::cell::Cell::new(ROOT_FILEID + 1),
+        }
+    }
+
+    /// The root directory handle clients mount.
+    pub fn root_handle(&self) -> FileHandle {
+        FileHandle::for_fileid(ROOT_FILEID)
+    }
+
+    /// Creates (or truncates, UNCHECKED-style) a file, returning its
+    /// handle and attributes.
+    pub fn create(&self, name: &str) -> (FileHandle, Fattr3) {
+        let existing = self.by_name.borrow().get(name).copied();
+        let id = if let Some(id) = existing {
+            self.files
+                .borrow_mut()
+                .get_mut(&id)
+                .expect("indexed file")
+                .size = 0;
+            id
+        } else {
+            let id = self.next_id.get();
+            self.next_id.set(id + 1);
+            self.files.borrow_mut().insert(
+                id,
+                FileEntry {
+                    name: name.to_owned(),
+                    size: 0,
+                },
+            );
+            self.by_name.borrow_mut().insert(name.to_owned(), id);
+            id
+        };
+        (FileHandle::for_fileid(id), Fattr3::regular(id, 0))
+    }
+
+    /// Resolves a name to a handle and attributes.
+    pub fn lookup(&self, name: &str) -> Result<(FileHandle, Fattr3), NfsStat3> {
+        let by_name = self.by_name.borrow();
+        let id = *by_name.get(name).ok_or(NfsStat3::Noent)?;
+        let files = self.files.borrow();
+        let f = files.get(&id).ok_or(NfsStat3::Stale)?;
+        Ok((FileHandle::for_fileid(id), Fattr3::regular(id, f.size)))
+    }
+
+    /// Returns attributes for a handle.
+    pub fn getattr(&self, fh: &FileHandle) -> Result<Fattr3, NfsStat3> {
+        let id = fh.fileid();
+        if id == ROOT_FILEID {
+            let mut a = Fattr3::regular(ROOT_FILEID, 4096);
+            a.ftype = nfsperf_nfs3::Ftype3::Dir;
+            return Ok(a);
+        }
+        let files = self.files.borrow();
+        let f = files.get(&id).ok_or(NfsStat3::Stale)?;
+        Ok(Fattr3::regular(id, f.size))
+    }
+
+    /// Sets a file's size (SETATTR truncate).
+    pub fn truncate(&self, fh: &FileHandle, size: u64) -> Result<Fattr3, NfsStat3> {
+        let id = fh.fileid();
+        let mut files = self.files.borrow_mut();
+        let f = files.get_mut(&id).ok_or(NfsStat3::Stale)?;
+        f.size = size;
+        Ok(Fattr3::regular(id, f.size))
+    }
+
+    /// Records a write, extending the file. Returns the new attributes.
+    pub fn apply_write(
+        &self,
+        fh: &FileHandle,
+        offset: u64,
+        count: u32,
+    ) -> Result<Fattr3, NfsStat3> {
+        let id = fh.fileid();
+        let mut files = self.files.borrow_mut();
+        let f = files.get_mut(&id).ok_or(NfsStat3::Stale)?;
+        f.size = f.size.max(offset + u64::from(count));
+        Ok(Fattr3::regular(id, f.size))
+    }
+
+    /// Current size of the file behind `fh`.
+    pub fn size_of(&self, fh: &FileHandle) -> Result<u64, NfsStat3> {
+        let files = self.files.borrow();
+        files
+            .get(&fh.fileid())
+            .map(|f| f.size)
+            .ok_or(NfsStat3::Stale)
+    }
+
+    /// Number of regular files in the export.
+    pub fn file_count(&self) -> usize {
+        self.files.borrow().len()
+    }
+
+    /// Name of the file behind `fh`, if any (for reports).
+    pub fn name_of(&self, fh: &FileHandle) -> Option<String> {
+        self.files
+            .borrow()
+            .get(&fh.fileid())
+            .map(|f| f.name.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_lookup_getattr() {
+        let fs = FsState::new();
+        let (fh, attrs) = fs.create("bench.dat");
+        assert_eq!(attrs.size, 0);
+        let (fh2, a2) = fs.lookup("bench.dat").unwrap();
+        assert_eq!(fh, fh2);
+        assert_eq!(a2.size, 0);
+        assert_eq!(fs.getattr(&fh).unwrap().fileid, fh.fileid());
+        assert_eq!(fs.file_count(), 1);
+        assert_eq!(fs.name_of(&fh).as_deref(), Some("bench.dat"));
+    }
+
+    #[test]
+    fn lookup_missing_is_noent() {
+        let fs = FsState::new();
+        assert_eq!(fs.lookup("nope").unwrap_err(), NfsStat3::Noent);
+    }
+
+    #[test]
+    fn stale_handle_rejected() {
+        let fs = FsState::new();
+        let bogus = FileHandle::for_fileid(999);
+        assert_eq!(fs.getattr(&bogus).unwrap_err(), NfsStat3::Stale);
+        assert_eq!(fs.apply_write(&bogus, 0, 10).unwrap_err(), NfsStat3::Stale);
+    }
+
+    #[test]
+    fn writes_extend_size() {
+        let fs = FsState::new();
+        let (fh, _) = fs.create("f");
+        fs.apply_write(&fh, 0, 4096).unwrap();
+        fs.apply_write(&fh, 4096, 4096).unwrap();
+        assert_eq!(fs.size_of(&fh).unwrap(), 8192);
+        // Overlapping write does not shrink.
+        fs.apply_write(&fh, 0, 100).unwrap();
+        assert_eq!(fs.size_of(&fh).unwrap(), 8192);
+    }
+
+    #[test]
+    fn recreate_truncates() {
+        let fs = FsState::new();
+        let (fh, _) = fs.create("f");
+        fs.apply_write(&fh, 0, 4096).unwrap();
+        let (fh2, attrs) = fs.create("f");
+        assert_eq!(fh, fh2, "same name keeps its file id");
+        assert_eq!(attrs.size, 0);
+        assert_eq!(fs.size_of(&fh).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncate_sets_size() {
+        let fs = FsState::new();
+        let (fh, _) = fs.create("f");
+        fs.apply_write(&fh, 0, 9000).unwrap();
+        let a = fs.truncate(&fh, 100).unwrap();
+        assert_eq!(a.size, 100);
+    }
+
+    #[test]
+    fn root_is_a_directory() {
+        let fs = FsState::new();
+        let root = fs.root_handle();
+        let a = fs.getattr(&root).unwrap();
+        assert_eq!(a.ftype, nfsperf_nfs3::Ftype3::Dir);
+    }
+}

@@ -1,0 +1,184 @@
+//! The filer's NVRAM write buffer.
+//!
+//! Incoming writes are acknowledged as soon as they are logged to NVRAM
+//! (which is why the filer answers `FILE_SYNC` without touching disk); a
+//! background drain empties the log to the RAID volume. When the log is
+//! full, admissions stall at the drain rate — the regime the right-hand
+//! side of the paper's Figure 7 shows once the benchmark file outgrows
+//! client RAM plus NVRAM.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use nfsperf_sim::{Sim, WaitQueue};
+
+use crate::disk::DiskModel;
+
+/// Drain granularity: how much the background task moves per disk write.
+const DRAIN_CHUNK: u64 = 256 * 1024;
+
+/// An NVRAM write log with background drain.
+pub struct Nvram {
+    capacity: u64,
+    used: Cell<u64>,
+    peak: Cell<u64>,
+    space: WaitQueue,
+    work: WaitQueue,
+    total_admitted: Cell<u64>,
+    full_stalls: Cell<u64>,
+}
+
+impl Nvram {
+    /// Creates an NVRAM log of `capacity` bytes draining to `disk`, and
+    /// spawns the drain task.
+    pub fn new(sim: &Sim, capacity: u64, disk: Rc<DiskModel>) -> Rc<Nvram> {
+        assert!(capacity > 0, "NVRAM capacity must be positive");
+        let nvram = Rc::new(Nvram {
+            capacity,
+            used: Cell::new(0),
+            peak: Cell::new(0),
+            space: WaitQueue::new(),
+            work: WaitQueue::new(),
+            total_admitted: Cell::new(0),
+            full_stalls: Cell::new(0),
+        });
+        let drain = Rc::clone(&nvram);
+        sim.spawn(async move {
+            drain.drain_loop(disk).await;
+        });
+        nvram
+    }
+
+    /// Logs `bytes` into NVRAM, stalling while the log is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the whole log capacity.
+    pub async fn admit(&self, bytes: u64) {
+        assert!(
+            bytes <= self.capacity,
+            "single admission {bytes} larger than NVRAM {}",
+            self.capacity
+        );
+        if self.used.get() + bytes > self.capacity {
+            self.full_stalls.set(self.full_stalls.get() + 1);
+            while self.used.get() + bytes > self.capacity {
+                self.space.wait().await;
+            }
+        }
+        let u = self.used.get() + bytes;
+        self.used.set(u);
+        self.peak.set(self.peak.get().max(u));
+        self.total_admitted.set(self.total_admitted.get() + bytes);
+        self.work.wake_all();
+    }
+
+    async fn drain_loop(&self, disk: Rc<DiskModel>) {
+        loop {
+            let used = self.used.get();
+            if used == 0 {
+                self.work.wait().await;
+                continue;
+            }
+            let chunk = used.min(DRAIN_CHUNK);
+            disk.write_stream(chunk).await;
+            self.used.set(self.used.get() - chunk);
+            self.space.wake_all();
+        }
+    }
+
+    /// Bytes currently logged.
+    pub fn used(&self) -> u64 {
+        self.used.get()
+    }
+
+    /// Log capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Highest fill level seen.
+    pub fn peak(&self) -> u64 {
+        self.peak.get()
+    }
+
+    /// Total bytes ever admitted.
+    pub fn total_admitted(&self) -> u64 {
+        self.total_admitted.get()
+    }
+
+    /// Number of admissions that found the log full.
+    pub fn full_stalls(&self) -> u64 {
+        self.full_stalls.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::{SimDuration, SimTime};
+
+    #[test]
+    fn admissions_fit_without_stall() {
+        let sim = Sim::new();
+        let disk = Rc::new(DiskModel::new(&sim, 10_000_000, SimDuration::ZERO));
+        let nv = Nvram::new(&sim, 1_000_000, disk);
+        let n = Rc::clone(&nv);
+        sim.run_until(async move {
+            n.admit(500_000).await;
+            // Fits immediately: no simulated time passes.
+            assert_eq!(n.used(), 500_000);
+        });
+        assert_eq!(sim.now(), SimTime::ZERO);
+        assert_eq!(nv.full_stalls(), 0);
+    }
+
+    #[test]
+    fn full_log_stalls_at_drain_rate() {
+        let sim = Sim::new();
+        // Drain at 1 MB/s so stalls are long and measurable.
+        let disk = Rc::new(DiskModel::new(&sim, 1_000_000, SimDuration::ZERO));
+        let nv = Nvram::new(&sim, 1_000_000, disk);
+        let n = Rc::clone(&nv);
+        sim.run_until(async move {
+            n.admit(1_000_000).await; // fills the log
+            n.admit(500_000).await; // must wait for 500 KB to drain
+        });
+        // 500 KB at 1 MB/s = 500 ms (drain chunks may overshoot slightly).
+        assert!(
+            sim.now() >= SimTime(450_000_000),
+            "expected a long stall, got {}",
+            sim.now()
+        );
+        assert_eq!(nv.full_stalls(), 1);
+        assert_eq!(nv.total_admitted(), 1_500_000);
+    }
+
+    #[test]
+    fn drains_to_empty() {
+        let sim = Sim::new();
+        let disk = Rc::new(DiskModel::new(&sim, 100_000_000, SimDuration::ZERO));
+        let nv = Nvram::new(&sim, 10_000_000, Rc::clone(&disk));
+        let n = Rc::clone(&nv);
+        let s = sim.clone();
+        sim.run_until(async move {
+            n.admit(5_000_000).await;
+            s.sleep(SimDuration::from_secs(1)).await;
+        });
+        assert_eq!(nv.used(), 0);
+        assert_eq!(disk.bytes_written(), 5_000_000);
+        assert_eq!(nv.peak(), 5_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than NVRAM")]
+    fn oversized_admission_panics() {
+        let sim = Sim::new();
+        let disk = Rc::new(DiskModel::new(&sim, 1_000_000, SimDuration::ZERO));
+        let nv = Nvram::new(&sim, 1_000, disk);
+        let n = Rc::clone(&nv);
+        sim.run_until(async move {
+            n.admit(2_000).await;
+        });
+    }
+}

@@ -1,0 +1,621 @@
+//! The generic simulated NFSv3 server: request dispatch plus pluggable
+//! write backends (filer NVRAM, knfsd page-cache-and-disk, plain memory).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use nfsperf_net::{DatagramPayload, Path};
+use nfsperf_nfs3::{
+    Commit3Args, Commit3Res, Create3Args, Create3Res, Getattr3Args, Getattr3Res, Lookup3Args,
+    Lookup3Res, NfsProc3, NfsStat3, Read3Args, Read3Res, Setattr3Args, Setattr3Res, StableHow,
+    WccData, Write3Args, Write3Res, WriteVerf, NFS_PROGRAM, NFS_V3,
+};
+use nfsperf_sim::{Counter, Gate, Receiver, Semaphore, Sim, SimDuration};
+use nfsperf_sunrpc::{
+    decode_call, encode_reply, encode_reply_status, ACCEPT_GARBAGE_ARGS, ACCEPT_PROC_UNAVAIL,
+};
+use nfsperf_xdr::XdrDecode;
+
+use crate::disk::DiskModel;
+use crate::fs::FsState;
+use crate::nvram::Nvram;
+
+/// Which disk model a backend drains to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskKind {
+    /// Eight-disk RAID 4 volume (the filer).
+    Raid4,
+    /// Single SCSI LVD disk (the Linux server).
+    ScsiSingle,
+}
+
+impl DiskKind {
+    fn build(self, sim: &Sim) -> Rc<DiskModel> {
+        match self {
+            DiskKind::Raid4 => Rc::new(DiskModel::raid4_volume(sim)),
+            DiskKind::ScsiSingle => Rc::new(DiskModel::scsi_single(sim)),
+        }
+    }
+}
+
+/// Backend selection and parameters.
+#[derive(Debug, Clone)]
+pub enum BackendConfig {
+    /// NVRAM-logged stable writes with periodic checkpoint pauses — the
+    /// Network Appliance filer.
+    Filer {
+        /// NVRAM log size (the F85 has 64 MB).
+        nvram_capacity: u64,
+        /// Time between file-system checkpoints.
+        checkpoint_interval: SimDuration,
+        /// Service pause while a checkpoint runs.
+        checkpoint_duration: SimDuration,
+        /// When the first checkpoint starts.
+        checkpoint_offset: SimDuration,
+    },
+    /// Unstable writes into a server page cache, flushed to disk on
+    /// COMMIT or when the dirty cap is exceeded — the Linux knfsd.
+    CacheDisk {
+        /// Dirty bytes the server caches before it must flush inline.
+        dirty_cap: u64,
+        /// Backing disk.
+        disk: DiskKind,
+    },
+    /// Replies from memory, no durability modelling — the generic "slow
+    /// server" whose bottleneck is its 100 Mb/s wire.
+    Memory,
+}
+
+/// Full server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Server name for reports.
+    pub name: &'static str,
+    /// Concurrent request handlers (nfsd threads / filer service engine).
+    pub concurrency: usize,
+    /// Fixed CPU cost per operation.
+    pub fixed_op_cost: SimDuration,
+    /// Rate at which the server CPU moves write payload (bytes/second).
+    pub data_rate_bps: u64,
+    /// Write backend.
+    pub backend: BackendConfig,
+    /// Fault injection: WRITEs fail with `NFS3ERR_NOSPC` once this many
+    /// payload bytes have been absorbed (`None` = never).
+    pub write_error_after: Option<u64>,
+}
+
+impl ServerConfig {
+    /// The prototype Network Appliance F85: single 833 MHz CPU, 64 MB
+    /// NVRAM, RAID 4 volume. Fast per-op service; sustained write rate
+    /// bounded by the NVRAM drain (~40 MB/s), matching the paper's
+    /// ~38 MB/s observation.
+    pub fn netapp_f85() -> ServerConfig {
+        ServerConfig {
+            name: "netapp-f85",
+            concurrency: 1,
+            fixed_op_cost: SimDuration::from_micros(40),
+            data_rate_bps: 60_000_000,
+            backend: BackendConfig::Filer {
+                nvram_capacity: 64 * 1024 * 1024,
+                checkpoint_interval: SimDuration::from_secs(10),
+                checkpoint_duration: SimDuration::from_millis(250),
+                checkpoint_offset: SimDuration::from_millis(400),
+            },
+            write_error_after: None,
+        }
+    }
+
+    /// The four-way Linux 2.4 knfsd: plenty of CPU, UNSTABLE writes into
+    /// the page cache, one SCSI disk behind COMMIT. Its network path is
+    /// the real limiter (32-bit/33 MHz PCI NIC), configured at the NIC.
+    pub fn linux_knfsd() -> ServerConfig {
+        ServerConfig {
+            name: "linux-knfsd",
+            concurrency: 4,
+            fixed_op_cost: SimDuration::from_micros(25),
+            data_rate_bps: 200_000_000,
+            backend: BackendConfig::CacheDisk {
+                dirty_cap: 64 * 1024 * 1024,
+                disk: DiskKind::ScsiSingle,
+            },
+            write_error_after: None,
+        }
+    }
+
+    /// A generic server on 100 Mb/s Ethernet: the paper's "slow server"
+    /// used to show that slower servers yield *faster* client memory
+    /// writes.
+    pub fn slow_100bt() -> ServerConfig {
+        ServerConfig {
+            name: "slow-100bt",
+            concurrency: 2,
+            fixed_op_cost: SimDuration::from_micros(30),
+            data_rate_bps: 100_000_000,
+            backend: BackendConfig::Memory,
+            write_error_after: None,
+        }
+    }
+}
+
+enum Backend {
+    Filer {
+        nvram: Rc<Nvram>,
+        checkpoint: Rc<Gate>,
+        checkpoints_taken: Rc<Counter>,
+    },
+    CacheDisk {
+        dirty: Cell<u64>,
+        dirty_cap: u64,
+        disk: Rc<DiskModel>,
+        inline_flushes: Counter,
+    },
+    Memory,
+}
+
+/// Aggregate server statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Operations served.
+    pub ops: u64,
+    /// WRITE operations served.
+    pub writes: u64,
+    /// Payload bytes written.
+    pub write_bytes: u64,
+    /// COMMIT operations served.
+    pub commits: u64,
+    /// Checkpoints taken (filer only).
+    pub checkpoints: u64,
+    /// Inline dirty-cap flushes (knfsd only).
+    pub inline_flushes: u64,
+}
+
+/// A running simulated NFS server.
+pub struct NfsServer {
+    sim: Sim,
+    /// The exported file system.
+    pub fs: Rc<FsState>,
+    reply_path: Path,
+    svc: Rc<Semaphore>,
+    fixed_op_cost: SimDuration,
+    data_rate_bps: u64,
+    backend: Backend,
+    verf: Cell<WriteVerf>,
+    stability: StableHow,
+    write_error_after: Option<u64>,
+    ops: Counter,
+    writes: Counter,
+    write_bytes: Counter,
+    commits: Counter,
+    /// Server name for reports.
+    pub name: &'static str,
+}
+
+impl NfsServer {
+    /// Boots a server: spawns the dispatcher draining `rx` and replying
+    /// along `reply_path`, plus any backend daemons.
+    pub fn spawn(
+        sim: &Sim,
+        rx: Receiver<DatagramPayload>,
+        reply_path: Path,
+        config: ServerConfig,
+    ) -> Rc<NfsServer> {
+        let (backend, stability) = match config.backend {
+            BackendConfig::Filer {
+                nvram_capacity,
+                checkpoint_interval,
+                checkpoint_duration,
+                checkpoint_offset,
+            } => {
+                let disk = DiskKind::Raid4.build(sim);
+                let nvram = Nvram::new(sim, nvram_capacity, disk);
+                let checkpoint = Rc::new(Gate::new());
+                let taken = Rc::new(Counter::new());
+                // Checkpoint daemon: periodically close the service gate,
+                // like WAFL pausing while it writes a consistency point.
+                {
+                    let gate = Rc::clone(&checkpoint);
+                    let sim2 = sim.clone();
+                    let taken = Rc::clone(&taken);
+                    sim.spawn(async move {
+                        sim2.sleep(checkpoint_offset).await;
+                        loop {
+                            gate.close();
+                            taken.inc();
+                            sim2.sleep(checkpoint_duration).await;
+                            gate.open();
+                            sim2.sleep(checkpoint_interval).await;
+                        }
+                    });
+                }
+                (
+                    Backend::Filer {
+                        nvram,
+                        checkpoint,
+                        checkpoints_taken: taken,
+                    },
+                    StableHow::FileSync,
+                )
+            }
+            BackendConfig::CacheDisk { dirty_cap, disk } => (
+                Backend::CacheDisk {
+                    dirty: Cell::new(0),
+                    dirty_cap,
+                    disk: disk.build(sim),
+                    inline_flushes: Counter::new(),
+                },
+                StableHow::Unstable,
+            ),
+            BackendConfig::Memory => (Backend::Memory, StableHow::Unstable),
+        };
+
+        let server = Rc::new(NfsServer {
+            sim: sim.clone(),
+            fs: Rc::new(FsState::new()),
+            reply_path,
+            svc: Rc::new(Semaphore::new(config.concurrency)),
+            fixed_op_cost: config.fixed_op_cost,
+            data_rate_bps: config.data_rate_bps,
+            backend,
+            verf: Cell::new(WriteVerf(0x0bad_cafe_0000_0001)),
+            stability,
+            write_error_after: config.write_error_after,
+            ops: Counter::new(),
+            writes: Counter::new(),
+            write_bytes: Counter::new(),
+            commits: Counter::new(),
+            name: config.name,
+        });
+
+        let dispatcher = Rc::clone(&server);
+        sim.spawn(async move {
+            while let Some(payload) = rx.recv().await {
+                let handler = Rc::clone(&dispatcher);
+                dispatcher.sim.spawn(async move {
+                    handler.handle(payload).await;
+                });
+            }
+        });
+        server
+    }
+
+    fn data_time(&self, bytes: u64) -> SimDuration {
+        SimDuration((bytes * 1_000_000_000).div_ceil(self.data_rate_bps))
+    }
+
+    async fn handle(&self, payload: DatagramPayload) {
+        let (hdr, mut args) = match decode_call(&payload) {
+            Ok(x) => x,
+            Err(_) => return, // junk datagram: drop, like a real server
+        };
+        if hdr.prog != NFS_PROGRAM || hdr.vers != NFS_V3 {
+            self.reply_path
+                .send(encode_reply_status(hdr.xid, ACCEPT_PROC_UNAVAIL, None));
+            return;
+        }
+        self.ops.inc();
+        let reply = match NfsProc3::from_u32(hdr.proc) {
+            Some(NfsProc3::Null) => {
+                let _svc = self.svc.acquire().await;
+                self.sim.sleep(self.fixed_op_cost).await;
+                encode_reply(hdr.xid, &0u32)
+            }
+            Some(NfsProc3::Write) => match Write3Args::decode(&mut args) {
+                Ok(w) => self.handle_write(hdr.xid, w).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            Some(NfsProc3::Commit) => match Commit3Args::decode(&mut args) {
+                Ok(c) => self.handle_commit(hdr.xid, c).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            Some(NfsProc3::Create) => match Create3Args::decode(&mut args) {
+                Ok(c) => self.handle_create(hdr.xid, c).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            Some(NfsProc3::Lookup) => match Lookup3Args::decode(&mut args) {
+                Ok(l) => self.handle_lookup(hdr.xid, l).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            Some(NfsProc3::Getattr) => match Getattr3Args::decode(&mut args) {
+                Ok(g) => self.handle_getattr(hdr.xid, g).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            Some(NfsProc3::Setattr) => match Setattr3Args::decode(&mut args) {
+                Ok(a) => self.handle_setattr(hdr.xid, a).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            Some(NfsProc3::Read) => match Read3Args::decode(&mut args) {
+                Ok(r) => self.handle_read(hdr.xid, r).await,
+                Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
+            },
+            None => encode_reply_status(hdr.xid, ACCEPT_PROC_UNAVAIL, None),
+        };
+        self.reply_path.send(reply);
+    }
+
+    async fn handle_write(&self, xid: u32, w: Write3Args) -> DatagramPayload {
+        // Checkpoint pause happens before service (the filer stops
+        // answering during a consistency point).
+        if let Backend::Filer { checkpoint, .. } = &self.backend {
+            checkpoint.pass().await;
+        }
+        let _svc = self.svc.acquire().await;
+        self.sim
+            .sleep(self.fixed_op_cost + self.data_time(u64::from(w.count)))
+            .await;
+
+        if let Some(limit) = self.write_error_after {
+            if self.write_bytes.get() + u64::from(w.count) > limit {
+                return encode_reply(
+                    xid,
+                    &Write3Res {
+                        status: NfsStat3::Nospc,
+                        wcc: WccData::default(),
+                        count: 0,
+                        committed: StableHow::Unstable,
+                        verf: WriteVerf::default(),
+                    },
+                );
+            }
+        }
+
+        let before = self.fs.size_of(&w.file).unwrap_or(0);
+        match self.backend {
+            Backend::Filer { ref nvram, .. } => {
+                nvram.admit(u64::from(w.count)).await;
+            }
+            Backend::CacheDisk {
+                ref dirty,
+                dirty_cap,
+                ref disk,
+                ref inline_flushes,
+            } => {
+                if dirty.get() + u64::from(w.count) > dirty_cap {
+                    // bdflush pressure: flush half the cache inline.
+                    let flush = dirty.get() / 2 + u64::from(w.count);
+                    inline_flushes.inc();
+                    disk.write_stream(flush).await;
+                    dirty.set(dirty.get().saturating_sub(flush));
+                }
+                dirty.set(dirty.get() + u64::from(w.count));
+            }
+            Backend::Memory => {}
+        }
+
+        match self.fs.apply_write(&w.file, w.offset, w.count) {
+            Ok(after) => {
+                self.writes.inc();
+                self.write_bytes.add(u64::from(w.count));
+                // Stability granted: at least what was asked for.
+                let granted = match (self.stability, w.stable) {
+                    (StableHow::Unstable, StableHow::Unstable) => StableHow::Unstable,
+                    (StableHow::Unstable, asked) => {
+                        // A sync write against the cache-disk server: flush
+                        // through to disk before replying.
+                        if let Backend::CacheDisk {
+                            ref dirty,
+                            ref disk,
+                            ..
+                        } = self.backend
+                        {
+                            disk.write_stream(dirty.get() + u64::from(w.count)).await;
+                            dirty.set(0);
+                        }
+                        asked
+                    }
+                    (granted, _) => granted,
+                };
+                encode_reply(
+                    xid,
+                    &Write3Res::ok(
+                        WccData::full(before, after),
+                        w.count,
+                        granted,
+                        self.verf.get(),
+                    ),
+                )
+            }
+            Err(status) => encode_reply(
+                xid,
+                &Write3Res {
+                    status,
+                    wcc: WccData::default(),
+                    count: 0,
+                    committed: StableHow::Unstable,
+                    verf: WriteVerf::default(),
+                },
+            ),
+        }
+    }
+
+    async fn handle_commit(&self, xid: u32, c: Commit3Args) -> DatagramPayload {
+        if let Backend::Filer { checkpoint, .. } = &self.backend {
+            checkpoint.pass().await;
+        }
+        let _svc = self.svc.acquire().await;
+        self.sim.sleep(self.fixed_op_cost).await;
+        self.commits.inc();
+        match self.backend {
+            // Filer writes were FILE_SYNC; COMMIT is a cheap no-op.
+            Backend::Filer { .. } | Backend::Memory => {}
+            Backend::CacheDisk {
+                ref dirty,
+                ref disk,
+                ..
+            } => {
+                let d = dirty.get();
+                if d > 0 {
+                    disk.write_stream(d).await;
+                    dirty.set(0);
+                }
+            }
+        }
+        let after = self.fs.getattr(&c.file).ok();
+        encode_reply(
+            xid,
+            &Commit3Res {
+                status: NfsStat3::Ok,
+                wcc: WccData {
+                    before: None,
+                    after,
+                },
+                verf: self.verf.get(),
+            },
+        )
+    }
+
+    async fn handle_create(&self, xid: u32, c: Create3Args) -> DatagramPayload {
+        let _svc = self.svc.acquire().await;
+        self.sim.sleep(self.fixed_op_cost).await;
+        let (fh, attrs) = self.fs.create(&c.name);
+        encode_reply(
+            xid,
+            &Create3Res {
+                status: NfsStat3::Ok,
+                file: Some(fh),
+                attrs: Some(attrs),
+            },
+        )
+    }
+
+    async fn handle_lookup(&self, xid: u32, l: Lookup3Args) -> DatagramPayload {
+        let _svc = self.svc.acquire().await;
+        self.sim.sleep(self.fixed_op_cost).await;
+        let res = match self.fs.lookup(&l.name) {
+            Ok((fh, attrs)) => Lookup3Res {
+                status: NfsStat3::Ok,
+                file: Some(fh),
+                attrs: Some(attrs),
+            },
+            Err(status) => Lookup3Res {
+                status,
+                file: None,
+                attrs: None,
+            },
+        };
+        encode_reply(xid, &res)
+    }
+
+    async fn handle_getattr(&self, xid: u32, g: Getattr3Args) -> DatagramPayload {
+        let _svc = self.svc.acquire().await;
+        self.sim.sleep(self.fixed_op_cost).await;
+        let res = match self.fs.getattr(&g.file) {
+            Ok(attrs) => Getattr3Res {
+                status: NfsStat3::Ok,
+                attrs: Some(attrs),
+            },
+            Err(status) => Getattr3Res {
+                status,
+                attrs: None,
+            },
+        };
+        encode_reply(xid, &res)
+    }
+
+    async fn handle_setattr(&self, xid: u32, a: Setattr3Args) -> DatagramPayload {
+        let _svc = self.svc.acquire().await;
+        self.sim.sleep(self.fixed_op_cost).await;
+        let before = self.fs.size_of(&a.file).unwrap_or(0);
+        let res = match a.attrs.size {
+            Some(size) => match self.fs.truncate(&a.file, size) {
+                Ok(after) => Setattr3Res {
+                    status: NfsStat3::Ok,
+                    wcc: WccData::full(before, after),
+                },
+                Err(status) => Setattr3Res {
+                    status,
+                    wcc: WccData::default(),
+                },
+            },
+            None => match self.fs.getattr(&a.file) {
+                Ok(after) => Setattr3Res {
+                    status: NfsStat3::Ok,
+                    wcc: WccData::full(before, after),
+                },
+                Err(status) => Setattr3Res {
+                    status,
+                    wcc: WccData::default(),
+                },
+            },
+        };
+        encode_reply(xid, &res)
+    }
+
+    async fn handle_read(&self, xid: u32, r: Read3Args) -> DatagramPayload {
+        let _svc = self.svc.acquire().await;
+        match self.fs.getattr(&r.file) {
+            Ok(attrs) => {
+                let available = attrs.size.saturating_sub(r.offset);
+                let count = u64::from(r.count).min(available) as u32;
+                self.sim
+                    .sleep(self.fixed_op_cost + self.data_time(u64::from(count)))
+                    .await;
+                let eof = r.offset + u64::from(count) >= attrs.size;
+                encode_reply(xid, &Read3Res::ok(attrs, count, eof))
+            }
+            Err(status) => {
+                self.sim.sleep(self.fixed_op_cost).await;
+                encode_reply(
+                    xid,
+                    &Read3Res {
+                        status,
+                        attrs: None,
+                        count: 0,
+                        eof: false,
+                        data_len: 0,
+                    },
+                )
+            }
+        }
+    }
+
+    /// Simulates a server reboot: the write verifier changes, so clients
+    /// must re-send uncommitted writes, and any cached dirty data is lost.
+    pub fn reboot(&self) {
+        let v = self.verf.get();
+        self.verf.set(WriteVerf(v.0.wrapping_add(0x1000_0000)));
+        if let Backend::CacheDisk { ref dirty, .. } = self.backend {
+            dirty.set(0);
+        }
+    }
+
+    /// The current write verifier.
+    pub fn current_verf(&self) -> WriteVerf {
+        self.verf.get()
+    }
+
+    /// Snapshot of server statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            ops: self.ops.get(),
+            writes: self.writes.get(),
+            write_bytes: self.write_bytes.get(),
+            commits: self.commits.get(),
+            checkpoints: match &self.backend {
+                Backend::Filer {
+                    checkpoints_taken, ..
+                } => checkpoints_taken.get(),
+                _ => 0,
+            },
+            inline_flushes: match &self.backend {
+                Backend::CacheDisk { inline_flushes, .. } => inline_flushes.get(),
+                _ => 0,
+            },
+        }
+    }
+
+    /// NVRAM fill level, if this server has one.
+    pub fn nvram_used(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::Filer { nvram, .. } => Some(nvram.used()),
+            _ => None,
+        }
+    }
+
+    /// Server-cached dirty bytes, if this server write-caches.
+    pub fn dirty_bytes(&self) -> Option<u64> {
+        match &self.backend {
+            Backend::CacheDisk { dirty, .. } => Some(dirty.get()),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! The discrete-event executor.
+//!
+//! [`Sim`] is a deterministic, single-threaded executor for `!Send` futures.
+//! Tasks advance only by awaiting simulated time ([`Sim::sleep`]) or
+//! synchronization primitives from [`crate::sync`]; real wall-clock time
+//! never enters the model. Determinism is guaranteed by:
+//!
+//! - a FIFO ready queue (tasks run in wake order),
+//! - a timer heap ordered by `(deadline, insertion sequence)`, and
+//! - a seeded pseudo-random number generator ([`crate::rng::SimRng`]).
+//!
+//! The design mirrors classical process-oriented simulation: each simulated
+//! thread of control (an application writer, `nfs_flushd`, a server service
+//! loop, a disk) is an async task, and blocking kernel behaviour maps onto
+//! `await` points.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a spawned task.
+pub type TaskId = usize;
+
+type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// The FIFO queue of task ids that have been woken and await polling.
+///
+/// This is the only piece of executor state a [`Waker`] touches, and `Waker`
+/// requires `Send + Sync`, so it lives behind an `Arc<Mutex<..>>` even
+/// though the simulator itself is single-threaded.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue
+            .lock()
+            .expect("ready queue poisoned")
+            .push_back(id);
+    }
+
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().expect("ready queue poisoned").pop_front()
+    }
+}
+
+/// Waker that reschedules a task on the ready queue.
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+/// A timer waiting to fire: ordered by `(deadline, seq)` so that equal
+/// deadlines fire in registration order.
+struct TimerEntry {
+    deadline: SimTime,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+/// A slot in the task table.
+struct TaskSlot {
+    future: Option<LocalFuture>,
+}
+
+struct SimCore {
+    now: Cell<SimTime>,
+    timer_seq: Cell<u64>,
+    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    tasks: RefCell<Vec<Option<TaskSlot>>>,
+    free_slots: RefCell<Vec<TaskId>>,
+    ready: Arc<ReadyQueue>,
+    /// Count of tasks currently being polled; used to catch re-entrancy.
+    polling: Cell<usize>,
+}
+
+/// Handle to the simulator; cheap to clone and share between tasks.
+///
+/// # Examples
+///
+/// ```
+/// use nfsperf_sim::{Sim, SimDuration};
+///
+/// let sim = Sim::new();
+/// let out = sim.run_until({
+///     let sim = sim.clone();
+///     async move {
+///         sim.sleep(SimDuration::from_micros(5)).await;
+///         sim.now().as_nanos()
+///     }
+/// });
+/// assert_eq!(out, 5_000);
+/// ```
+#[derive(Clone)]
+pub struct Sim {
+    core: Rc<SimCore>,
+}
+
+impl Default for Sim {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sim {
+    /// Creates a fresh simulator with the clock at zero.
+    pub fn new() -> Sim {
+        Sim {
+            core: Rc::new(SimCore {
+                now: Cell::new(SimTime::ZERO),
+                timer_seq: Cell::new(0),
+                timers: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(Vec::new()),
+                free_slots: RefCell::new(Vec::new()),
+                ready: Arc::new(ReadyQueue::default()),
+                polling: Cell::new(0),
+            }),
+        }
+    }
+
+    /// Returns the current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now.get()
+    }
+
+    /// Registers a waker to fire at `deadline`.
+    ///
+    /// Used by [`Sleep`]; most code should call [`Sim::sleep`] instead.
+    pub fn register_timer(&self, deadline: SimTime, waker: Waker) {
+        let seq = self.core.timer_seq.get();
+        self.core.timer_seq.set(seq + 1);
+        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
+            deadline,
+            seq,
+            waker,
+        }));
+    }
+
+    /// Returns a future that completes after `dur` of simulated time.
+    pub fn sleep(&self, dur: SimDuration) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline: self.now() + dur,
+            registered: false,
+        }
+    }
+
+    /// Returns a future that completes at the absolute instant `deadline`.
+    ///
+    /// Completes immediately if `deadline` is already in the past.
+    pub fn sleep_until(&self, deadline: SimTime) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            registered: false,
+        }
+    }
+
+    /// Spawns a background task, returning a handle to await its output.
+    ///
+    /// The task starts in the ready queue and first runs when the executor
+    /// next drains it.
+    pub fn spawn<T, F>(&self, fut: F) -> JoinHandle<T>
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
+        let state = Rc::new(RefCell::new(JoinState::<T> {
+            result: None,
+            waiters: Vec::new(),
+        }));
+        let state2 = Rc::clone(&state);
+        let wrapped: LocalFuture = Box::pin(async move {
+            let out = fut.await;
+            let mut st = state2.borrow_mut();
+            st.result = Some(out);
+            for w in st.waiters.drain(..) {
+                w.wake();
+            }
+        });
+
+        let id = self.insert_task(wrapped);
+        self.core.ready.push(id);
+        JoinHandle { state }
+    }
+
+    fn insert_task(&self, fut: LocalFuture) -> TaskId {
+        let mut tasks = self.core.tasks.borrow_mut();
+        if let Some(id) = self.core.free_slots.borrow_mut().pop() {
+            tasks[id] = Some(TaskSlot { future: Some(fut) });
+            id
+        } else {
+            tasks.push(Some(TaskSlot { future: Some(fut) }));
+            tasks.len() - 1
+        }
+    }
+
+    /// Drives `main` to completion, running spawned tasks and advancing the
+    /// simulated clock as needed, and returns its output.
+    ///
+    /// Background tasks that are still pending when `main` completes are
+    /// dropped (daemons need no explicit shutdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks: `main` is not finished but no
+    /// task is runnable and no timer is pending.
+    pub fn run_until<T, F>(&self, main: F) -> T
+    where
+        T: 'static,
+        F: Future<Output = T> + 'static,
+    {
+        let handle = self.spawn(main);
+        loop {
+            self.drain_ready();
+            if let Some(out) = handle.try_take() {
+                return out;
+            }
+            if !self.fire_next_timer() {
+                panic!(
+                    "simulation deadlock at t={}: main task pending, no runnable \
+                     tasks and no timers",
+                    self.now()
+                );
+            }
+        }
+    }
+
+    /// Polls every woken task until the ready queue is empty.
+    fn drain_ready(&self) {
+        while let Some(id) = self.core.ready.pop() {
+            self.poll_task(id);
+        }
+    }
+
+    /// Advances the clock to the next timer and wakes it.
+    ///
+    /// Returns `false` if no timers are pending.
+    fn fire_next_timer(&self) -> bool {
+        let entry = match self.core.timers.borrow_mut().pop() {
+            Some(Reverse(e)) => e,
+            None => return false,
+        };
+        debug_assert!(
+            entry.deadline >= self.now(),
+            "timer in the past: {} < {}",
+            entry.deadline,
+            self.now()
+        );
+        if entry.deadline > self.now() {
+            self.core.now.set(entry.deadline);
+        }
+        entry.waker.wake();
+        true
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        // Take the future out of the table so that the task may itself
+        // spawn tasks (which re-borrows the table) while being polled.
+        let fut = {
+            let mut tasks = self.core.tasks.borrow_mut();
+            match tasks.get_mut(id) {
+                Some(Some(slot)) => match slot.future.take() {
+                    Some(f) => f,
+                    // Already being polled or already finished: spurious wake.
+                    None => return,
+                },
+                _ => return,
+            }
+        };
+
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.core.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        self.core.polling.set(self.core.polling.get() + 1);
+        let mut fut = fut;
+        let poll = fut.as_mut().poll(&mut cx);
+        self.core.polling.set(self.core.polling.get() - 1);
+
+        let mut tasks = self.core.tasks.borrow_mut();
+        match poll {
+            Poll::Ready(()) => {
+                tasks[id] = None;
+                self.core.free_slots.borrow_mut().push(id);
+            }
+            Poll::Pending => {
+                if let Some(Some(slot)) = tasks.get_mut(id) {
+                    slot.future = Some(fut);
+                }
+            }
+        }
+    }
+
+    /// Number of live (spawned, unfinished) tasks. Mostly for tests.
+    pub fn live_tasks(&self) -> usize {
+        self.core
+            .tasks
+            .borrow()
+            .iter()
+            .filter(|t| t.is_some())
+            .count()
+    }
+}
+
+/// Future returned by [`Sim::sleep`] and [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: SimTime,
+    registered: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.registered {
+            let deadline = self.deadline;
+            self.sim.register_timer(deadline, cx.waker().clone());
+            self.registered = true;
+        }
+        Poll::Pending
+    }
+}
+
+struct JoinState<T> {
+    result: Option<T>,
+    waiters: Vec<Waker>,
+}
+
+/// Handle to a spawned task's eventual output.
+///
+/// Await it to block until the task finishes, or poll [`JoinHandle::try_take`]
+/// from outside the executor.
+pub struct JoinHandle<T> {
+    state: Rc<RefCell<JoinState<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Takes the task's output if it has finished, without blocking.
+    pub fn try_take(&self) -> Option<T> {
+        self.state.borrow_mut().result.take()
+    }
+
+    /// Returns `true` once the task has finished (and the output has not
+    /// yet been taken).
+    pub fn is_finished(&self) -> bool {
+        self.state.borrow().result.is_some()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut st = self.state.borrow_mut();
+        if let Some(out) = st.result.take() {
+            Poll::Ready(out)
+        } else {
+            st.waiters.push(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Yields once, letting every other ready task run before continuing.
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let sim = Sim::new();
+        assert_eq!(sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn sleep_advances_clock() {
+        let sim = Sim::new();
+        let s2 = sim.clone();
+        let t = sim.run_until(async move {
+            s2.sleep(SimDuration::from_millis(7)).await;
+            s2.now()
+        });
+        assert_eq!(t.as_nanos(), 7_000_000);
+    }
+
+    #[test]
+    fn zero_sleep_completes_immediately() {
+        let sim = Sim::new();
+        let s2 = sim.clone();
+        sim.run_until(async move {
+            s2.sleep(SimDuration::ZERO).await;
+            assert_eq!(s2.now(), SimTime::ZERO);
+        });
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_noop() {
+        let sim = Sim::new();
+        let s2 = sim.clone();
+        sim.run_until(async move {
+            s2.sleep(SimDuration::from_micros(10)).await;
+            s2.sleep_until(SimTime(5)).await;
+            assert_eq!(s2.now().as_nanos(), 10_000);
+        });
+    }
+
+    #[test]
+    fn tasks_interleave_deterministically() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let order = Rc::clone(&order);
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(u64::from(3 - i))).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        let s2 = sim.clone();
+        sim.run_until(async move {
+            s2.sleep(SimDuration::from_micros(10)).await;
+        });
+        // Shorter sleeps finish first: i=2 slept 1us, i=1 slept 2us, i=0 3us.
+        assert_eq!(*order.borrow(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn equal_deadlines_fire_in_registration_order() {
+        let sim = Sim::new();
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4u32 {
+            let order = Rc::clone(&order);
+            let s = sim.clone();
+            sim.spawn(async move {
+                s.sleep(SimDuration::from_micros(5)).await;
+                order.borrow_mut().push(i);
+            });
+        }
+        let s2 = sim.clone();
+        sim.run_until(async move {
+            s2.sleep(SimDuration::from_micros(6)).await;
+        });
+        assert_eq!(*order.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn join_handle_returns_value() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let v = sim.run_until(async move {
+            let h = s.spawn(async { 42 });
+            h.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn join_handle_waits_for_sleeping_task() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let v = sim.run_until(async move {
+            let s2 = s.clone();
+            let h = s.spawn(async move {
+                s2.sleep(SimDuration::from_millis(3)).await;
+                s2.now().as_nanos()
+            });
+            h.await
+        });
+        assert_eq!(v, 3_000_000);
+    }
+
+    #[test]
+    fn spawn_inside_task_works() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let v = sim.run_until(async move {
+            let inner = s.spawn(async { 7 });
+            let s2 = s.clone();
+            let outer = s.spawn(async move {
+                let j = s2.spawn(async { 35 });
+                j.await
+            });
+            inner.await + outer.await
+        });
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn yield_now_lets_others_run() {
+        let sim = Sim::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l1 = Rc::clone(&log);
+        let l2 = Rc::clone(&log);
+        sim.spawn(async move {
+            l1.borrow_mut().push("a1");
+            yield_now().await;
+            l1.borrow_mut().push("a2");
+        });
+        sim.spawn(async move {
+            l2.borrow_mut().push("b1");
+            yield_now().await;
+            l2.borrow_mut().push("b2");
+        });
+        let s2 = sim.clone();
+        sim.run_until(async move {
+            s2.sleep(SimDuration::from_micros(1)).await;
+        });
+        assert_eq!(*log.borrow(), vec!["a1", "b1", "a2", "b2"]);
+    }
+
+    #[test]
+    fn daemons_are_abandoned_after_main_completes() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.spawn({
+            let s = sim.clone();
+            async move {
+                loop {
+                    s.sleep(SimDuration::from_secs(1)).await;
+                }
+            }
+        });
+        let t = sim.run_until(async move {
+            s.sleep(SimDuration::from_millis(1)).await;
+            s.now()
+        });
+        assert_eq!(t.as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "simulation deadlock")]
+    fn deadlock_detection() {
+        let sim = Sim::new();
+        sim.run_until(std::future::pending::<()>());
+    }
+
+    #[test]
+    fn live_task_accounting() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let before = s.live_tasks();
+            let h = s.spawn(async {});
+            assert_eq!(s.live_tasks(), before + 1);
+            h.await;
+            assert_eq!(s.live_tasks(), before);
+        });
+    }
+}

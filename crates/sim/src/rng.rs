@@ -1,0 +1,151 @@
+//! Deterministic randomness for the simulator.
+//!
+//! All stochastic elements of the model (CPU cost jitter, service-time
+//! variation) draw from a single seeded generator so that every run with
+//! the same seed reproduces bit-identically. This is deliberately the
+//! opposite of the paper's experience on real hardware (Section 2.2 laments
+//! large run-to-run variation on Linux); determinism is what lets our test
+//! suite assert on the shapes the paper could only eyeball.
+
+use std::cell::RefCell;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded pseudo-random source with interior mutability.
+pub struct SimRng {
+    rng: RefCell<SmallRng>,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> SimRng {
+        SimRng {
+            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Uniform integer in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_u64(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.rng.borrow_mut().gen_range(lo..hi)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn uniform_f64(&self) -> f64 {
+        self.rng.borrow_mut().gen_range(0.0..1.0)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn chance(&self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+
+    /// Applies multiplicative jitter to a duration: the result is uniform
+    /// in `[d * (1 - frac), d * (1 + frac)]`.
+    ///
+    /// Models the small per-operation variation (cache state, interrupt
+    /// skew) that makes real latency histograms spread rather than spike.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not in `[0, 1]`.
+    pub fn jitter(&self, d: SimDuration, frac: f64) -> SimDuration {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "jitter fraction {frac} out of range"
+        );
+        if frac == 0.0 || d == SimDuration::ZERO {
+            return d;
+        }
+        let scale = 1.0 + frac * (self.uniform_f64() * 2.0 - 1.0);
+        SimDuration((d.as_nanos() as f64 * scale).round() as u64)
+    }
+
+    /// Exponentially distributed duration with the given mean, truncated at
+    /// ten times the mean to keep tails bounded and deterministic-friendly.
+    pub fn exponential(&self, mean: SimDuration) -> SimDuration {
+        if mean == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        // Inverse-CDF sampling; clamp u away from 0 to avoid ln(0).
+        let u = self.uniform_f64().max(1e-12);
+        let draw = -(u.ln()) * mean.as_nanos() as f64;
+        let capped = draw.min(mean.as_nanos() as f64 * 10.0);
+        SimDuration(capped.round() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = SimRng::new(42);
+        let b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.uniform_u64(0, 1_000_000), b.uniform_u64(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let a = SimRng::new(1);
+        let b = SimRng::new(2);
+        let va: Vec<u64> = (0..16).map(|_| a.uniform_u64(0, u64::MAX - 1)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.uniform_u64(0, u64::MAX - 1)).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn jitter_stays_in_band() {
+        let rng = SimRng::new(7);
+        let base = SimDuration::from_micros(100);
+        for _ in 0..1000 {
+            let j = rng.jitter(base, 0.1);
+            assert!(j.as_nanos() >= 90_000, "{j} below band");
+            assert!(j.as_nanos() <= 110_000, "{j} above band");
+        }
+    }
+
+    #[test]
+    fn jitter_zero_fraction_is_identity() {
+        let rng = SimRng::new(7);
+        let base = SimDuration::from_micros(100);
+        assert_eq!(rng.jitter(base, 0.0), base);
+        assert_eq!(rng.jitter(SimDuration::ZERO, 0.5), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let rng = SimRng::new(3);
+        for _ in 0..50 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let rng = SimRng::new(11);
+        let mean = SimDuration::from_micros(100);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| rng.exponential(mean).as_nanos()).sum();
+        let avg = sum as f64 / n as f64;
+        // Truncation at 10x shaves ~0.05% off; allow 5% tolerance.
+        assert!((avg - 100_000.0).abs() < 5_000.0, "mean {avg}ns");
+    }
+
+    #[test]
+    fn exponential_zero_mean() {
+        let rng = SimRng::new(11);
+        assert_eq!(rng.exponential(SimDuration::ZERO), SimDuration::ZERO);
+    }
+}

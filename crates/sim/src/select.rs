@@ -1,0 +1,111 @@
+//! A minimal two-way select for simulator tasks.
+
+use std::future::Future;
+use std::pin::pin;
+use std::task::Poll;
+
+/// Which of the two futures finished first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future won.
+    Left(A),
+    /// The second future won.
+    Right(B),
+}
+
+/// Awaits whichever of two futures completes first, dropping the loser.
+///
+/// If both are ready on the same poll, the left future wins. Both futures
+/// must tolerate being dropped before completion (all primitives in this
+/// crate do).
+pub async fn select2<A, B>(a: A, b: B) -> Either<A::Output, B::Output>
+where
+    A: Future,
+    B: Future,
+{
+    let mut a = pin!(a);
+    let mut b = pin!(b);
+    std::future::poll_fn(move |cx| {
+        if let Poll::Ready(va) = a.as_mut().poll(cx) {
+            return Poll::Ready(Either::Left(va));
+        }
+        if let Poll::Ready(vb) = b.as_mut().poll(cx) {
+            return Poll::Ready(Either::Right(vb));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+
+    #[test]
+    fn left_wins_when_faster() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.run_until(async move {
+            let fast = s.sleep(SimDuration::from_micros(1));
+            let slow = s.sleep(SimDuration::from_micros(10));
+            select2(
+                async move {
+                    fast.await;
+                    1
+                },
+                async move {
+                    slow.await;
+                    2
+                },
+            )
+            .await
+        });
+        assert_eq!(out, Either::Left(1));
+        assert_eq!(sim.now().as_nanos(), 1_000);
+    }
+
+    #[test]
+    fn right_wins_when_faster() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.run_until(async move {
+            let slow = s.sleep(SimDuration::from_micros(10));
+            let fast = s.sleep(SimDuration::from_micros(1));
+            select2(
+                async move {
+                    slow.await;
+                    1u32
+                },
+                async move {
+                    fast.await;
+                    2u32
+                },
+            )
+            .await
+        });
+        assert_eq!(out, Either::Right(2));
+    }
+
+    #[test]
+    fn simultaneous_prefers_left() {
+        let sim = Sim::new();
+        let s = sim.clone();
+        let out = sim.run_until(async move {
+            let a = s.sleep(SimDuration::from_micros(5));
+            let b = s.sleep(SimDuration::from_micros(5));
+            select2(
+                async move {
+                    a.await;
+                    'a'
+                },
+                async move {
+                    b.await;
+                    'b'
+                },
+            )
+            .await
+        });
+        assert_eq!(out, Either::Left('a'));
+    }
+}

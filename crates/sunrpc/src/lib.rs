@@ -1,0 +1,17 @@
+//! SUN RPC (RFC 1831) message layer and simulated client transport.
+//!
+//! [`msg`] encodes and decodes real RPC CALL/REPLY wire messages on top of
+//! `nfsperf-xdr`; [`xprt`] is the client transport with the Linux 2.4
+//! behaviours the paper studies — a 16-entry slot table, retransmission
+//! with exponential backoff, per-send `sock_sendmsg` CPU cost, and the
+//! global kernel lock held (or, with the paper's patch, released) across
+//! the send path.
+
+pub mod msg;
+pub mod xprt;
+
+pub use msg::{
+    decode_call, decode_reply, encode_call, encode_reply, encode_reply_status, peek_xid, AuthUnix,
+    CallHeader, ReplyHeader, ACCEPT_GARBAGE_ARGS, ACCEPT_PROC_UNAVAIL, ACCEPT_SUCCESS,
+};
+pub use xprt::{RpcError, RpcXprt, XprtConfig, XprtStats};

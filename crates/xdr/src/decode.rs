@@ -1,0 +1,252 @@
+//! The XDR decoder: a bounds-checked cursor over wire bytes.
+
+use crate::pad_len;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XdrError {
+    /// The buffer ended before the value was complete.
+    Truncated {
+        /// Bytes needed by the read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        available: usize,
+    },
+    /// A union/enum discriminant had an unknown value.
+    BadDiscriminant(u32),
+    /// A string was not valid UTF-8.
+    BadString,
+    /// A declared length exceeded the sanity limit.
+    LengthTooLarge(u32),
+}
+
+impl std::fmt::Display for XdrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            XdrError::Truncated { needed, available } => {
+                write!(f, "truncated: need {needed} bytes, have {available}")
+            }
+            XdrError::BadDiscriminant(d) => write!(f, "bad union discriminant {d}"),
+            XdrError::BadString => write!(f, "string is not valid UTF-8"),
+            XdrError::LengthTooLarge(n) => write!(f, "declared length {n} too large"),
+        }
+    }
+}
+
+impl std::error::Error for XdrError {}
+
+/// Upper bound accepted for variable-length items; larger declared lengths
+/// are treated as corruption rather than allocated.
+const MAX_ITEM_LEN: u32 = 64 * 1024 * 1024;
+
+/// Cursor over an XDR-encoded byte slice.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], XdrError> {
+        if self.remaining() < n {
+            return Err(XdrError::Truncated {
+                needed: n,
+                available: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a 32-bit unsigned integer.
+    pub fn get_u32(&mut self) -> Result<u32, XdrError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a 32-bit signed integer.
+    pub fn get_i32(&mut self) -> Result<i32, XdrError> {
+        Ok(self.get_u32()? as i32)
+    }
+
+    /// Reads a 64-bit unsigned integer.
+    pub fn get_u64(&mut self) -> Result<u64, XdrError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a boolean (strictly 0 or 1).
+    pub fn get_bool(&mut self) -> Result<bool, XdrError> {
+        match self.get_u32()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+
+    /// Reads variable-length opaque data (length word, bytes, pad).
+    pub fn get_opaque(&mut self) -> Result<&'a [u8], XdrError> {
+        let len = self.get_u32()?;
+        if len > MAX_ITEM_LEN {
+            return Err(XdrError::LengthTooLarge(len));
+        }
+        let data = self.take(len as usize)?;
+        self.take(pad_len(len as usize))?;
+        Ok(data)
+    }
+
+    /// Reads fixed-length opaque data of `len` bytes plus pad.
+    pub fn get_opaque_fixed(&mut self, len: usize) -> Result<&'a [u8], XdrError> {
+        let data = self.take(len)?;
+        self.take(pad_len(len))?;
+        Ok(data)
+    }
+
+    /// Reads an XDR string as UTF-8.
+    pub fn get_string(&mut self) -> Result<&'a str, XdrError> {
+        let bytes = self.get_opaque()?;
+        std::str::from_utf8(bytes).map_err(|_| XdrError::BadString)
+    }
+
+    /// Skips a variable-length opaque without borrowing it.
+    pub fn skip_opaque(&mut self) -> Result<usize, XdrError> {
+        Ok(self.get_opaque()?.len())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns `true` when the whole buffer is consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current cursor position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoder;
+
+    #[test]
+    fn round_trip_integers() {
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        e.put_i32(-42);
+        e.put_u64(u64::MAX);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u32().unwrap(), u32::MAX);
+        assert_eq!(d.get_i32().unwrap(), -42);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn truncated_u32() {
+        let mut d = Decoder::new(&[0, 0]);
+        assert_eq!(
+            d.get_u32(),
+            Err(XdrError::Truncated {
+                needed: 4,
+                available: 2
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_opaque_body() {
+        let mut e = Encoder::new();
+        e.put_u32(100); // claims 100 bytes but provides none
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_opaque(), Err(XdrError::Truncated { .. })));
+    }
+
+    #[test]
+    fn opaque_round_trip_with_padding() {
+        let mut e = Encoder::new();
+        e.put_opaque(&[1, 2, 3, 4, 5]);
+        let bytes = e.into_bytes();
+        assert_eq!(bytes.len(), 4 + 5 + 3);
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_opaque().unwrap(), &[1, 2, 3, 4, 5]);
+        assert!(d.is_empty(), "padding must be consumed");
+    }
+
+    #[test]
+    fn fixed_opaque_round_trip() {
+        let mut e = Encoder::new();
+        e.put_opaque_fixed(&[7; 6]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_opaque_fixed(6).unwrap(), &[7; 6]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn string_round_trip_and_bad_utf8() {
+        let mut e = Encoder::new();
+        e.put_string("héllo");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_string().unwrap(), "héllo");
+
+        let mut e = Encoder::new();
+        e.put_opaque(&[0xff, 0xfe]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_string(), Err(XdrError::BadString));
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        let bytes = 7u32.to_be_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_bool(), Err(XdrError::BadDiscriminant(7)));
+    }
+
+    #[test]
+    fn length_sanity_limit() {
+        let bytes = (u32::MAX).to_be_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_opaque(), Err(XdrError::LengthTooLarge(u32::MAX)));
+    }
+
+    #[test]
+    fn skip_opaque_reports_len() {
+        let mut e = Encoder::new();
+        e.put_opaque(&[0; 11]);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.skip_opaque().unwrap(), 11);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn position_tracks_reads() {
+        let mut e = Encoder::new();
+        e.put_u32(1);
+        e.put_u64(2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.position(), 0);
+        d.get_u32().unwrap();
+        assert_eq!(d.position(), 4);
+        assert_eq!(d.remaining(), 8);
+    }
+}

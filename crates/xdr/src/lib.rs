@@ -1,0 +1,195 @@
+//! RFC 4506 XDR (External Data Representation) encoding and decoding.
+//!
+//! SUN RPC and NFS messages are XDR-encoded on the wire; this crate
+//! provides the codec the `nfsperf-sunrpc` and `nfsperf-nfs3` crates build
+//! their real message encodings on, so that simulated wire sizes (and thus
+//! fragmentation and transmission times) come from genuine byte layouts.
+//!
+//! # Example
+//!
+//! ```
+//! use nfsperf_xdr::{XdrEncode, XdrDecode, Encoder, Decoder};
+//!
+//! let mut enc = Encoder::new();
+//! enc.put_u32(7);
+//! enc.put_string("nfs");
+//! let bytes = enc.into_bytes();
+//! assert_eq!(bytes.len(), 4 + 4 + 4); // u32 + length + "nfs" padded to 4
+//!
+//! let mut dec = Decoder::new(&bytes);
+//! assert_eq!(dec.get_u32().unwrap(), 7);
+//! assert_eq!(dec.get_string().unwrap(), "nfs");
+//! assert!(dec.is_empty());
+//! ```
+
+pub mod decode;
+pub mod encode;
+
+pub use decode::{Decoder, XdrError};
+pub use encode::Encoder;
+
+/// A type with a canonical XDR encoding.
+pub trait XdrEncode {
+    /// Appends this value's XDR form to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Returns the encoded size in bytes without materialising the bytes.
+    ///
+    /// The default implementation encodes into a scratch buffer; types on
+    /// hot paths override it with arithmetic.
+    fn encoded_len(&self) -> usize {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.len()
+    }
+}
+
+/// A type decodable from its canonical XDR form.
+pub trait XdrDecode: Sized {
+    /// Reads one value from `dec`.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError>;
+}
+
+/// Number of zero pad bytes needed to reach 4-byte alignment.
+#[inline]
+pub const fn pad_len(n: usize) -> usize {
+    (4 - (n % 4)) % 4
+}
+
+/// Length of an XDR opaque/string of `n` bytes including length word and
+/// padding.
+#[inline]
+pub const fn opaque_wire_len(n: usize) -> usize {
+    4 + n + pad_len(n)
+}
+
+impl XdrEncode for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl XdrDecode for u32 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        dec.get_u32()
+    }
+}
+
+impl XdrEncode for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl XdrDecode for u64 {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        dec.get_u64()
+    }
+}
+
+impl XdrEncode for bool {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(u32::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        4
+    }
+}
+
+impl XdrDecode for bool {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        dec.get_bool()
+    }
+}
+
+impl<T: XdrEncode> XdrEncode for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            Some(v) => {
+                enc.put_u32(1);
+                v.encode(enc);
+            }
+            None => enc.put_u32(0),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.as_ref().map_or(0, XdrEncode::encoded_len)
+    }
+}
+
+impl<T: XdrDecode> XdrDecode for Option<T> {
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, XdrError> {
+        match dec.get_u32()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            other => Err(XdrError::BadDiscriminant(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_len_values() {
+        assert_eq!(pad_len(0), 0);
+        assert_eq!(pad_len(1), 3);
+        assert_eq!(pad_len(2), 2);
+        assert_eq!(pad_len(3), 1);
+        assert_eq!(pad_len(4), 0);
+        assert_eq!(pad_len(5), 3);
+    }
+
+    #[test]
+    fn opaque_wire_len_values() {
+        assert_eq!(opaque_wire_len(0), 4);
+        assert_eq!(opaque_wire_len(1), 8);
+        assert_eq!(opaque_wire_len(4), 8);
+        assert_eq!(opaque_wire_len(8192), 8196);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        let mut enc = Encoder::new();
+        42u32.encode(&mut enc);
+        7_000_000_000u64.encode(&mut enc);
+        true.encode(&mut enc);
+        Some(5u32).encode(&mut enc);
+        Option::<u32>::None.encode(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(u32::decode(&mut dec).unwrap(), 42);
+        assert_eq!(u64::decode(&mut dec).unwrap(), 7_000_000_000);
+        assert!(bool::decode(&mut dec).unwrap());
+        assert_eq!(Option::<u32>::decode(&mut dec).unwrap(), Some(5));
+        assert_eq!(Option::<u32>::decode(&mut dec).unwrap(), None);
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let v: Option<u64> = Some(9);
+        assert_eq!(v.encoded_len(), 12);
+        let mut enc = Encoder::new();
+        v.encode(&mut enc);
+        assert_eq!(enc.len(), 12);
+    }
+
+    #[test]
+    fn option_bad_discriminant() {
+        let bytes = 2u32.to_be_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            Option::<u32>::decode(&mut dec),
+            Err(XdrError::BadDiscriminant(2))
+        ));
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's future-work experiment: concurrent writers on separate
+//! CPUs, to one server and to two, with and without the kernel lock
+//! around sock_sendmsg.
+//!
+//! ```sh
+//! cargo run --release --example concurrent_writers
+//! ```
+
+fn main() {
+    println!("two concurrent writers, 8 MB each (aggregate memory write MB/s):\n");
+    for (label, r) in nfsperf_experiments::future_work_comparison(8 << 20) {
+        println!(
+            "  {label:28} 1 writer {:>6.1}  2 writers {:>6.1}  scaling x{:.2}",
+            r.one_writer_mbps,
+            r.two_writers_mbps,
+            r.scaling()
+        );
+    }
+}

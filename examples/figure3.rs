@@ -1,0 +1,29 @@
+//! Figure 3: write() latency with the periodic flushes removed, 100 MB
+//! file — no spikes, but latency grows with the request list.
+//!
+//! ```sh
+//! cargo run --release --example figure3
+//! ```
+
+fn main() {
+    let trace = nfsperf_experiments::figures::figure3();
+    std::fs::create_dir_all("results").expect("mkdir results");
+    std::fs::write("results/figure3.csv", trace.to_csv()).expect("write csv");
+    let deciles = nfsperf_bonnie::decile_means(&trace.latencies);
+    println!(
+        "Figure 3 - latency without periodic flushes ({})",
+        trace.label
+    );
+    println!("  calls       : {}", trace.latencies.len());
+    println!("  spikes >1ms : {} (paper: none)", trace.spikes);
+    println!("  mean latency: {} (paper: 484.7 us)", trace.mean);
+    println!("  decile means:");
+    for (i, d) in deciles.iter().enumerate() {
+        println!("    {:>3}% {:>12}", (i + 1) * 10, format!("{d}"));
+    }
+    println!(
+        "  growth last/first decile: x{:.2}",
+        nfsperf_bonnie::trend_ratio(&trace.latencies)
+    );
+    println!("wrote results/figure3.csv");
+}

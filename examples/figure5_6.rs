@@ -1,0 +1,23 @@
+//! Figures 5 and 6: write() latency histograms against both servers,
+//! with the kernel lock held across sock_sendmsg (Fig 5) and released
+//! (Fig 6). 30 MB file, 60 us bins.
+//!
+//! ```sh
+//! cargo run --release --example figure5_6
+//! ```
+
+fn main() {
+    std::fs::create_dir_all("results").expect("mkdir results");
+    for (name, pair) in [
+        ("figure5", nfsperf_experiments::figures::figure5()),
+        ("figure6", nfsperf_experiments::figures::figure6()),
+    ] {
+        std::fs::write(format!("results/{name}.csv"), pair.to_csv()).expect("write csv");
+        println!("{name}: {}", pair.label);
+        println!("  filer  mean {} max {}", pair.filer_mean, pair.filer_max);
+        println!("  linux  mean {} max {}", pair.knfsd_mean, pair.knfsd_max);
+        println!("  filer histogram:\n{}", pair.filer);
+        println!("  linux histogram:\n{}", pair.knfsd);
+    }
+    println!("wrote results/figure5.csv and results/figure6.csv");
+}

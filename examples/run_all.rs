@@ -1,0 +1,56 @@
+//! Regenerates every table and figure, writing CSVs under `results/`.
+//!
+//! ```sh
+//! cargo run --release --example run_all [--quick]
+//! ```
+
+use nfsperf_experiments::figures;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let sizes = if quick {
+        figures::quick_file_sizes()
+    } else {
+        figures::paper_file_sizes()
+    };
+    std::fs::create_dir_all("results").expect("mkdir results");
+
+    eprintln!("figure 1 ...");
+    figures::figure1(&sizes)
+        .write_csv(std::path::Path::new("results/figure1.csv"))
+        .unwrap();
+    eprintln!("figure 2 ...");
+    std::fs::write("results/figure2.csv", figures::figure2().to_csv()).unwrap();
+    eprintln!("figure 3 ...");
+    std::fs::write("results/figure3.csv", figures::figure3().to_csv()).unwrap();
+    eprintln!("figure 4 ...");
+    std::fs::write("results/figure4.csv", figures::figure4().to_csv()).unwrap();
+    eprintln!("figures 5/6 ...");
+    std::fs::write("results/figure5.csv", figures::figure5().to_csv()).unwrap();
+    std::fs::write("results/figure6.csv", figures::figure6().to_csv()).unwrap();
+    eprintln!("table 1 ...");
+    let t = figures::table1();
+    std::fs::write(
+        "results/table1.csv",
+        format!(
+            "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
+            t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
+        ),
+    )
+    .unwrap();
+    eprintln!("figure 7 ...");
+    figures::figure7(&sizes)
+        .write_csv(std::path::Path::new("results/figure7.csv"))
+        .unwrap();
+    eprintln!("slow-server comparison ...");
+    let cmp = figures::slow_server_comparison();
+    std::fs::write(
+        "results/slow_server.csv",
+        format!(
+            "server,write_mbps\nnetapp-filer,{:.1}\nlinux-nfs-server,{:.1}\nslow-100bt,{:.1}\n",
+            cmp.filer_mbps, cmp.knfsd_mbps, cmp.slow_mbps
+        ),
+    )
+    .unwrap();
+    println!("all results written under results/");
+}

@@ -1,0 +1,55 @@
+//! Table 1: client memory write throughput before and after the kernel
+//! lock modification (5 MB file).
+//!
+//! ```sh
+//! cargo run --release --example table1
+//! ```
+
+use nfsperf_experiments::{ascii_table, figures, write_rows_csv};
+
+fn main() {
+    let t = figures::table1();
+    let rows = vec![
+        vec![
+            "NetApp filer".to_string(),
+            format!("{:.0}", t.filer_normal),
+            format!("{:.0}", t.filer_no_lock),
+            "115".into(),
+            "140".into(),
+        ],
+        vec![
+            "Linux NFS server".to_string(),
+            format!("{:.0}", t.linux_normal),
+            format!("{:.0}", t.linux_no_lock),
+            "138".into(),
+            "147".into(),
+        ],
+    ];
+    println!("Table 1 - memory write throughput (MB/s), 5 MB file");
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "server",
+                "Normal",
+                "No lock",
+                "paper Normal",
+                "paper No lock"
+            ],
+            &rows
+        )
+    );
+    write_rows_csv(
+        std::path::Path::new("results/table1.csv"),
+        &[
+            "server",
+            "normal_mbps",
+            "no_lock_mbps",
+            "paper_normal",
+            "paper_no_lock",
+        ],
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote results/table1.csv");
+}

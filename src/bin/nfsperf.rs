@@ -1,0 +1,280 @@
+//! `nfsperf` — command-line driver for the reproduction.
+//!
+//! ```text
+//! nfsperf run --tuning full-patch --server filer --size-mb 100 [options]
+//! nfsperf figures [--quick] [--out DIR]
+//! nfsperf table1
+//! nfsperf concurrency
+//! nfsperf help
+//! ```
+//!
+//! Argument parsing is deliberately hand rolled: the workspace has no
+//! CLI-framework dependency and the grammar is tiny.
+
+use std::process::ExitCode;
+
+use nfsperf_client::ClientTuning;
+use nfsperf_experiments::{figures, run_bonnie, Scenario, ServerKind};
+use nfsperf_sim::SimDuration;
+
+fn usage() -> &'static str {
+    "nfsperf — Linux NFS Client Write Performance (Lever & Honeyman 2002), simulated
+
+USAGE:
+    nfsperf run [--tuning T] [--server S] [--size-mb N] [--cpus N]
+                [--ram-mb N] [--slots N] [--jumbo] [--seed N] [--latencies FILE]
+    nfsperf figures [--quick] [--out DIR]
+    nfsperf table1
+    nfsperf concurrency
+    nfsperf help
+
+OPTIONS (run):
+    --tuning    linux-2.4.4 | no-flush | hash-table | full-patch   [full-patch]
+    --server    filer | knfsd | slow                               [filer]
+    --size-mb   file size in MB                                    [100]
+    --cpus      client CPUs                                        [2]
+    --ram-mb    client RAM in MB                                   [256]
+    --slots     RPC slot-table size                                [16]
+    --jumbo     9000-byte MTU on both ends
+    --seed      RNG seed                                           [0x1f5]
+    --latencies write per-call latencies as CSV to FILE
+"
+}
+
+fn parse_tuning(s: &str) -> Option<ClientTuning> {
+    Some(match s {
+        "linux-2.4.4" | "stock" => ClientTuning::linux_2_4_4(),
+        "no-flush" => ClientTuning::no_flush(),
+        "hash-table" | "normal" => ClientTuning::hash_table(),
+        "full-patch" | "no-lock" => ClientTuning::full_patch(),
+        _ => return None,
+    })
+}
+
+fn parse_server(s: &str) -> Option<ServerKind> {
+    Some(match s {
+        "filer" | "netapp" => ServerKind::Filer,
+        "knfsd" | "linux" => ServerKind::Knfsd,
+        "slow" | "100bt" => ServerKind::Slow100,
+        _ => return None,
+    })
+}
+
+struct Args {
+    items: Vec<String>,
+}
+
+impl Args {
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(i) = self.items.iter().position(|a| a == name) {
+            self.items.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, name: &str) -> Result<Option<String>, String> {
+        if let Some(i) = self.items.iter().position(|a| a == name) {
+            if i + 1 >= self.items.len() {
+                return Err(format!("{name} needs a value"));
+            }
+            let v = self.items.remove(i + 1);
+            self.items.remove(i);
+            Ok(Some(v))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn parsed<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        match self.value(name)? {
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("bad value for {name}: {v}")),
+            None => Ok(None),
+        }
+    }
+
+    fn finish(&self) -> Result<(), String> {
+        if self.items.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognised arguments: {:?}", self.items))
+        }
+    }
+}
+
+fn cmd_run(mut args: Args) -> Result<(), String> {
+    let tuning = match args.value("--tuning")? {
+        Some(v) => parse_tuning(&v).ok_or(format!("unknown tuning {v}"))?,
+        None => ClientTuning::full_patch(),
+    };
+    let server = match args.value("--server")? {
+        Some(v) => parse_server(&v).ok_or(format!("unknown server {v}"))?,
+        None => ServerKind::Filer,
+    };
+    let size_mb: u64 = args.parsed("--size-mb")?.unwrap_or(100);
+    let mut scenario = Scenario::new(tuning, server);
+    if let Some(cpus) = args.parsed("--cpus")? {
+        scenario.ncpus = cpus;
+    }
+    if let Some(ram_mb) = args.parsed::<u64>("--ram-mb")? {
+        scenario.ram_bytes = ram_mb << 20;
+    }
+    if let Some(slots) = args.parsed("--slots")? {
+        scenario.mount.slots = slots;
+    }
+    if let Some(seed) = args.parsed("--seed")? {
+        scenario.seed = seed;
+    }
+    if args.flag("--jumbo") {
+        scenario = scenario.with_jumbo_frames();
+    }
+    let latency_file = args.value("--latencies")?;
+    args.finish()?;
+
+    let out = run_bonnie(&scenario, size_mb << 20);
+    let r = &out.report;
+    println!(
+        "run: tuning={} server={} size={}MB cpus={} ram={}MB slots={}",
+        tuning.label(),
+        server.label(),
+        size_mb,
+        scenario.ncpus,
+        scenario.ram_bytes >> 20,
+        scenario.mount.slots,
+    );
+    println!("  write throughput : {:>8.1} MB/s", r.write_mbps());
+    println!("  through flush    : {:>8.1} MB/s", r.flush_mbps());
+    println!("  through close    : {:>8.1} MB/s", r.close_mbps());
+    println!("  mean latency     : {}", r.mean_latency());
+    println!(
+        "  mean excl >1ms   : {}",
+        r.mean_latency_excluding(SimDuration::from_millis(1))
+    );
+    println!(
+        "  calls >1ms       : {}",
+        r.spikes(SimDuration::from_millis(1))
+    );
+    println!(
+        "  rpcs             : {} WRITE, {} COMMIT, {} retransmits",
+        out.mount_stats.write_rpcs, out.mount_stats.commit_rpcs, out.xprt_stats.retransmits
+    );
+    println!(
+        "  lock             : {} acquisitions, total wait {}",
+        out.lock_stats.acquisitions, out.lock_stats.total_wait
+    );
+    println!("  net tx           : {:>8.1} MB/s", out.net_tx_mbps);
+    println!("  profile top 3    :");
+    for row in out.profile.iter().take(3) {
+        println!("      {:22} {}", row.label, row.time);
+    }
+    if let Some(path) = latency_file {
+        let mut csv = String::from("call,latency_us\n");
+        for (i, l) in r.latencies.iter().enumerate() {
+            csv.push_str(&format!("{},{:.3}\n", i, l.as_micros_f64()));
+        }
+        std::fs::write(&path, csv).map_err(|e| format!("write {path}: {e}"))?;
+        println!("  latencies        : wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_figures(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    let out_dir = args.value("--out")?.unwrap_or_else(|| "results".into());
+    args.finish()?;
+    let sizes = if quick {
+        figures::quick_file_sizes()
+    } else {
+        figures::paper_file_sizes()
+    };
+    let dir = std::path::Path::new(&out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let w =
+        |name: &str, body: String| std::fs::write(dir.join(name), body).map_err(|e| e.to_string());
+    eprintln!("figure 1 ...");
+    w("figure1.csv", figures::figure1(&sizes).to_csv())?;
+    eprintln!("figure 2 ...");
+    w("figure2.csv", figures::figure2().to_csv())?;
+    eprintln!("figure 3 ...");
+    w("figure3.csv", figures::figure3().to_csv())?;
+    eprintln!("figure 4 ...");
+    w("figure4.csv", figures::figure4().to_csv())?;
+    eprintln!("figures 5/6 ...");
+    w("figure5.csv", figures::figure5().to_csv())?;
+    w("figure6.csv", figures::figure6().to_csv())?;
+    eprintln!("table 1 ...");
+    let t = figures::table1();
+    w(
+        "table1.csv",
+        format!(
+            "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
+            t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
+        ),
+    )?;
+    eprintln!("figure 7 ...");
+    w("figure7.csv", figures::figure7(&sizes).to_csv())?;
+    println!("wrote figures to {out_dir}/");
+    Ok(())
+}
+
+fn cmd_table1(args: Args) -> Result<(), String> {
+    args.finish()?;
+    let t = figures::table1();
+    println!("Table 1 — memory write throughput (MB/s), 5 MB file");
+    println!("                      Normal   No lock");
+    println!(
+        "  NetApp filer        {:>6.0}   {:>7.0}",
+        t.filer_normal, t.filer_no_lock
+    );
+    println!(
+        "  Linux NFS server    {:>6.0}   {:>7.0}",
+        t.linux_normal, t.linux_no_lock
+    );
+    Ok(())
+}
+
+fn cmd_concurrency(args: Args) -> Result<(), String> {
+    args.finish()?;
+    println!("two concurrent writers, 8 MB each:");
+    for (label, r) in nfsperf_experiments::future_work_comparison(8 << 20) {
+        println!(
+            "  {label:28} 1w {:>6.1} MB/s  2w {:>6.1} MB/s  x{:.2}",
+            r.one_writer_mbps,
+            r.two_writers_mbps,
+            r.scaling()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let cmd = argv.remove(0);
+    let args = Args { items: argv };
+    let result = match cmd.as_str() {
+        "run" => cmd_run(args),
+        "figures" => cmd_figures(args),
+        "table1" => cmd_table1(args),
+        "concurrency" => cmd_concurrency(args),
+        "help" | "--help" | "-h" => {
+            print!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! `nfsperf` — facade crate for the reproduction of *Linux NFS Client
+//! Write Performance* (Lever & Honeyman, 2002).
+//!
+//! Re-exports every subsystem under one roof:
+//!
+//! - [`sim`] — the deterministic discrete-event engine,
+//! - [`kernel`] — the simulated client machine (CPUs, BKL, memory),
+//! - [`xdr`], [`nfs3`], [`sunrpc`] — the wire protocol stack,
+//! - [`net`] — NICs, links and fragmentation,
+//! - [`server`] — the filer, the Linux knfsd and the slow server,
+//! - [`ext2`] — the local-filesystem baseline,
+//! - [`client`] — **the paper's subject**: the 2.4.4 NFS client write
+//!   path with all three fixes as switches,
+//! - [`bonnie`] — the sequential write benchmark,
+//! - [`experiments`] — runners for every figure and table.
+//!
+//! See `README.md` for a tour and `examples/quickstart.rs` for the
+//! canonical build-a-world snippet.
+
+pub use nfsperf_bonnie as bonnie;
+pub use nfsperf_client as client;
+pub use nfsperf_experiments as experiments;
+pub use nfsperf_ext2 as ext2;
+pub use nfsperf_kernel as kernel;
+pub use nfsperf_net as net;
+pub use nfsperf_nfs3 as nfs3;
+pub use nfsperf_server as server;
+pub use nfsperf_sim as sim;
+pub use nfsperf_sunrpc as sunrpc;
+pub use nfsperf_xdr as xdr;
