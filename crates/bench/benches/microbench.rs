@@ -2,121 +2,111 @@
 //! request index (the paper's list-vs-hash fix, measured directly), the
 //! XDR codec, and the simulation engine's primitives.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use nfsperf_bench::Harness;
 use nfsperf_client::{IndexKind, NfsPageReq, RequestIndex};
 use nfsperf_sim::{Sim, SimDuration, SimTime};
 
 /// The heart of the paper's second fix: absent-page lookup cost on a
 /// sorted list vs the hash table, across list sizes.
-fn index_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("request_index_lookup_absent");
+fn index_lookup(h: &mut Harness) {
+    h.group("request_index_lookup_absent");
     for &n in &[100u64, 1_000, 10_000] {
         for (label, kind) in [
             ("list", IndexKind::SortedList),
             ("hash", IndexKind::HashTable),
         ] {
-            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
-                let mut idx = RequestIndex::new(kind);
-                for page in 0..n {
-                    idx.insert(NfsPageReq::new(page, 0, 4096, SimTime::ZERO));
-                }
-                b.iter(|| {
-                    let l = idx.find(black_box(n + 1));
-                    assert!(l.found.is_none());
-                    l.scanned
-                })
+            let mut idx = RequestIndex::new(kind);
+            for page in 0..n {
+                idx.insert(NfsPageReq::new(page, 0, 4096, SimTime::ZERO));
+            }
+            h.bench(&format!("{label}/{n}"), || {
+                let l = idx.find(black_box(n + 1));
+                assert!(l.found.is_none());
+                l.scanned
             });
         }
     }
-    g.finish();
 }
 
 /// Sequential append cost (find + insert), the per-page write-path work.
-fn index_append(c: &mut Criterion) {
-    let mut g = c.benchmark_group("request_index_append_10k");
+fn index_append(h: &mut Harness) {
+    h.group("request_index_append_10k");
     for (label, kind) in [
         ("list", IndexKind::SortedList),
         ("hash", IndexKind::HashTable),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| {
-                let mut idx = RequestIndex::new(kind);
-                for page in 0..10_000u64 {
-                    idx.find(page);
-                    idx.insert(NfsPageReq::new(page, 0, 4096, SimTime::ZERO));
-                }
-                idx.len()
-            })
+        h.bench(label, || {
+            let mut idx = RequestIndex::new(kind);
+            for page in 0..10_000u64 {
+                idx.find(page);
+                idx.insert(NfsPageReq::new(page, 0, 4096, SimTime::ZERO));
+            }
+            idx.len()
         });
     }
-    g.finish();
 }
 
 /// Encoding a full WRITE3 call message (header + 8 KiB payload).
-fn xdr_write3(c: &mut Criterion) {
+fn xdr_write3(h: &mut Harness) {
     use nfsperf_nfs3::{FileHandle, StableHow, Write3Args};
     use nfsperf_sunrpc::AuthUnix;
     let cred = AuthUnix::root_on("bench");
     let args = Write3Args::new(FileHandle::for_fileid(7), 0, 8192, StableHow::Unstable);
-    let mut g = c.benchmark_group("xdr");
-    g.bench_function("encode_write3_call_8k", |b| {
-        b.iter(|| {
-            let msg = nfsperf_sunrpc::encode_call(black_box(1), 100_003, 3, 7, &cred, &args);
-            msg.len()
-        })
+    h.group("xdr");
+    h.bench("encode_write3_call_8k", || {
+        let msg = nfsperf_sunrpc::encode_call(black_box(1), 100_003, 3, 7, &cred, &args);
+        msg.len()
     });
     let msg = nfsperf_sunrpc::encode_call(1, 100_003, 3, 7, &cred, &args);
-    g.bench_function("decode_write3_call_8k", |b| {
-        b.iter(|| {
-            let (hdr, mut dec) = nfsperf_sunrpc::decode_call(black_box(&msg)).unwrap();
-            let w = <Write3Args as nfsperf_xdr::XdrDecode>::decode(&mut dec).unwrap();
-            (hdr.xid, w.count)
-        })
+    h.bench("decode_write3_call_8k", || {
+        let (hdr, mut dec) = nfsperf_sunrpc::decode_call(black_box(&msg)).unwrap();
+        let w = <Write3Args as nfsperf_xdr::XdrDecode>::decode(&mut dec).unwrap();
+        (hdr.xid, w.count)
     });
-    g.finish();
 }
 
 /// Raw discrete-event engine throughput: spawn/sleep/complete cycles.
-fn sim_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_engine");
-    g.bench_function("sleep_chain_10k", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let s = sim.clone();
-            sim.run_until(async move {
-                for _ in 0..10_000 {
-                    s.sleep(SimDuration::from_nanos(100)).await;
-                }
-                s.now()
-            })
+fn sim_engine(h: &mut Harness) {
+    h.group("sim_engine");
+    h.bench("sleep_chain_10k", || {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            for _ in 0..10_000 {
+                s.sleep(SimDuration::from_nanos(100)).await;
+            }
+            s.now()
         })
     });
-    g.bench_function("spawn_join_1k", |b| {
-        b.iter(|| {
-            let sim = Sim::new();
-            let s = sim.clone();
-            sim.run_until(async move {
-                let handles: Vec<_> = (0..1_000)
-                    .map(|i| {
-                        let s2 = s.clone();
-                        s.spawn(async move {
-                            s2.sleep(SimDuration::from_nanos(i)).await;
-                            i
-                        })
+    h.bench("spawn_join_1k", || {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            let handles: Vec<_> = (0..1_000)
+                .map(|i| {
+                    let s2 = s.clone();
+                    s.spawn(async move {
+                        s2.sleep(SimDuration::from_nanos(i)).await;
+                        i
                     })
-                    .collect();
-                let mut total = 0;
-                for h in handles {
-                    total += h.await;
-                }
-                total
-            })
+                })
+                .collect();
+            let mut total = 0;
+            for h in handles {
+                total += h.await;
+            }
+            total
         })
     });
-    g.finish();
 }
 
-criterion_group!(micro, index_lookup, index_append, xdr_write3, sim_engine);
-criterion_main!(micro);
+fn main() {
+    let mut h = Harness::from_env();
+    index_lookup(&mut h);
+    index_append(&mut h);
+    xdr_write3(&mut h);
+    sim_engine(&mut h);
+    h.finish();
+}

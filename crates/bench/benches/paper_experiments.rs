@@ -1,236 +1,198 @@
-//! One Criterion benchmark per table and figure of the paper.
+//! One benchmark per table and figure of the paper.
 //!
 //! Each benchmark regenerates its exhibit end to end (full world:
 //! client kernel, RPC stack, network, server) at a reduced file size so
 //! the suite completes in minutes; the `examples/` binaries run the
-//! paper-scale versions. Criterion's statistics dubiously measure *our*
+//! paper-scale versions. The harness statistics dubiously measure *our*
 //! simulator's wall-clock speed, but the real output is the asserted
 //! shape of each exhibit, checked here with `assert!` so a regression in
 //! the model fails the bench run loudly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use nfsperf_bench::Harness;
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{figures, run_bonnie, run_local, Scenario, ServerKind};
 use nfsperf_sim::SimDuration;
 
 /// Figure 1: one stock-client point of the local-vs-NFS sweep.
-fn fig1_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_local_vs_nfs_stock");
-    g.sample_size(10);
-    g.bench_function("local_ext2_50mb", |b| {
-        b.iter(|| {
-            let r = run_local(black_box(50 << 20), false);
-            assert!(r.write_mbps() > 100.0, "local must be memory speed");
-            r.write_mbps()
-        })
+fn fig1_throughput(h: &mut Harness) {
+    h.group("fig1_local_vs_nfs_stock");
+    h.sample_size(10);
+    h.bench("local_ext2_50mb", || {
+        let r = run_local(black_box(50 << 20), false);
+        assert!(r.write_mbps() > 100.0, "local must be memory speed");
+        r.write_mbps()
     });
-    g.bench_function("filer_50mb", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::linux_2_4_4(), ServerKind::Filer);
-            let out = run_bonnie(&s, black_box(50 << 20));
-            let mbps = out.report.write_mbps();
-            assert!(mbps < 60.0, "stock NFS must be network-bound, got {mbps}");
-            mbps
-        })
+    h.bench("filer_50mb", || {
+        let s = Scenario::new(ClientTuning::linux_2_4_4(), ServerKind::Filer);
+        let out = run_bonnie(&s, black_box(50 << 20));
+        let mbps = out.report.write_mbps();
+        assert!(mbps < 60.0, "stock NFS must be network-bound, got {mbps}");
+        mbps
     });
-    g.bench_function("knfsd_50mb", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::linux_2_4_4(), ServerKind::Knfsd);
-            run_bonnie(&s, black_box(50 << 20)).report.write_mbps()
-        })
+    h.bench("knfsd_50mb", || {
+        let s = Scenario::new(ClientTuning::linux_2_4_4(), ServerKind::Knfsd);
+        run_bonnie(&s, black_box(50 << 20)).report.write_mbps()
     });
-    g.finish();
 }
 
 /// Figure 2: the stock client's periodic latency spikes (full 40 MB run).
-fn fig2_spikes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig2_latency_spikes");
-    g.sample_size(10);
-    g.bench_function("stock_40mb_filer", |b| {
-        b.iter(|| {
-            let t = figures::figure2();
-            assert!(t.spikes >= 10, "expected periodic spikes, got {}", t.spikes);
-            t.spikes
-        })
+fn fig2_spikes(h: &mut Harness) {
+    h.group("fig2_latency_spikes");
+    h.sample_size(10);
+    h.bench("stock_40mb_filer", || {
+        let t = figures::figure2();
+        assert!(t.spikes >= 10, "expected periodic spikes, got {}", t.spikes);
+        t.spikes
     });
-    g.finish();
 }
 
 /// Figure 3: latency growth with the sorted list (reduced to 25 MB).
-fn fig3_list_growth(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_list_growth");
-    g.sample_size(10);
-    g.bench_function("no_flush_25mb_filer", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::no_flush(), ServerKind::Filer);
-            let out = run_bonnie(&s, black_box(25 << 20));
-            let ratio = nfsperf_bonnie::trend_ratio(&out.report.latencies);
-            assert!(ratio > 1.2, "latency must grow, ratio {ratio}");
-            ratio
-        })
+fn fig3_list_growth(h: &mut Harness) {
+    h.group("fig3_list_growth");
+    h.sample_size(10);
+    h.bench("no_flush_25mb_filer", || {
+        let s = Scenario::new(ClientTuning::no_flush(), ServerKind::Filer);
+        let out = run_bonnie(&s, black_box(25 << 20));
+        let ratio = nfsperf_bonnie::trend_ratio(&out.report.latencies);
+        assert!(ratio > 1.2, "latency must grow, ratio {ratio}");
+        ratio
     });
-    g.finish();
 }
 
 /// Figure 4: flat latency with the hash table (reduced to 25 MB).
-fn fig4_hash(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_hash_table");
-    g.sample_size(10);
-    g.bench_function("hash_25mb_filer", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::hash_table(), ServerKind::Filer);
-            let out = run_bonnie(&s, black_box(25 << 20));
-            let ratio = nfsperf_bonnie::trend_ratio(&out.report.latencies);
-            assert!(ratio < 1.3, "latency must stay flat, ratio {ratio}");
-            ratio
-        })
+fn fig4_hash(h: &mut Harness) {
+    h.group("fig4_hash_table");
+    h.sample_size(10);
+    h.bench("hash_25mb_filer", || {
+        let s = Scenario::new(ClientTuning::hash_table(), ServerKind::Filer);
+        let out = run_bonnie(&s, black_box(25 << 20));
+        let ratio = nfsperf_bonnie::trend_ratio(&out.report.latencies);
+        assert!(ratio < 1.3, "latency must stay flat, ratio {ratio}");
+        ratio
     });
-    g.finish();
 }
 
 /// Figures 5/6: histogram pair, lock held vs released (reduced to 10 MB).
-fn fig5_fig6_histograms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_fig6_histograms");
-    g.sample_size(10);
+fn fig5_fig6_histograms(h: &mut Harness) {
+    h.group("fig5_fig6_histograms");
+    h.sample_size(10);
     for (name, tuning) in [
         ("fig5_bkl_held_10mb", ClientTuning::hash_table()),
         ("fig6_no_lock_10mb", ClientTuning::full_patch()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let size = black_box(10u64 << 20);
-                let filer = run_bonnie(&Scenario::new(tuning, ServerKind::Filer), size);
-                let knfsd = run_bonnie(&Scenario::new(tuning, ServerKind::Knfsd), size);
-                let f = nfsperf_bonnie::mean(&filer.report.latencies[1..]);
-                let k = nfsperf_bonnie::mean(&knfsd.report.latencies[1..]);
-                assert!(
-                    f >= k,
-                    "the faster server must not show faster client writes: filer {f} linux {k}"
-                );
-                (f, k)
-            })
+        h.bench(name, || {
+            let size = black_box(10u64 << 20);
+            let filer = run_bonnie(&Scenario::new(tuning, ServerKind::Filer), size);
+            let knfsd = run_bonnie(&Scenario::new(tuning, ServerKind::Knfsd), size);
+            let f = nfsperf_bonnie::mean(&filer.report.latencies[1..]);
+            let k = nfsperf_bonnie::mean(&knfsd.report.latencies[1..]);
+            assert!(
+                f >= k,
+                "the faster server must not show faster client writes: filer {f} linux {k}"
+            );
+            (f, k)
         });
     }
-    g.finish();
 }
 
 /// Table 1: the four 5 MB throughput cells.
-fn table1_lock(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_lock_modification");
-    g.sample_size(10);
-    g.bench_function("all_four_cells_5mb", |b| {
-        b.iter(|| {
-            let t = figures::table1();
-            assert!(t.filer_no_lock > t.filer_normal, "lock fix must help filer");
-            assert!(t.linux_no_lock > t.linux_normal, "lock fix must help linux");
-            assert!(
-                t.linux_normal > t.filer_normal,
-                "slower server must allow faster memory writes under the BKL"
-            );
-            t
-        })
+fn table1_lock(h: &mut Harness) {
+    h.group("table1_lock_modification");
+    h.sample_size(10);
+    h.bench("all_four_cells_5mb", || {
+        let t = figures::table1();
+        assert!(t.filer_no_lock > t.filer_normal, "lock fix must help filer");
+        assert!(t.linux_no_lock > t.linux_normal, "lock fix must help linux");
+        assert!(
+            t.linux_normal > t.filer_normal,
+            "slower server must allow faster memory writes under the BKL"
+        );
+        t
     });
-    g.finish();
 }
 
 /// Figure 7: one patched-client point each side of the RAM boundary.
-fn fig7_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_local_vs_nfs_patched");
-    g.sample_size(10);
-    g.bench_function("filer_150mb_in_ram", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::full_patch(), ServerKind::Filer);
-            let mbps = run_bonnie(&s, black_box(150 << 20)).report.write_mbps();
-            assert!(
-                mbps > 80.0,
-                "patched in-RAM writes are memory speed, got {mbps}"
-            );
-            mbps
-        })
+fn fig7_throughput(h: &mut Harness) {
+    h.group("fig7_local_vs_nfs_patched");
+    h.sample_size(10);
+    h.bench("filer_150mb_in_ram", || {
+        let s = Scenario::new(ClientTuning::full_patch(), ServerKind::Filer);
+        let mbps = run_bonnie(&s, black_box(150 << 20)).report.write_mbps();
+        assert!(
+            mbps > 80.0,
+            "patched in-RAM writes are memory speed, got {mbps}"
+        );
+        mbps
     });
-    g.bench_function("filer_300mb_past_ram", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::full_patch(), ServerKind::Filer);
-            run_bonnie(&s, black_box(300 << 20)).report.write_mbps()
-        })
+    h.bench("filer_300mb_past_ram", || {
+        let s = Scenario::new(ClientTuning::full_patch(), ServerKind::Filer);
+        run_bonnie(&s, black_box(300 << 20)).report.write_mbps()
     });
-    g.finish();
 }
 
 /// §3.5: the slow-server inversion plus the sendmsg lock-wait breakdown.
-fn slow_server(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sec3_5_slow_server");
-    g.sample_size(10);
-    g.bench_function("three_servers_5mb", |b| {
-        b.iter(|| {
-            let cmp = figures::slow_server_comparison();
-            assert!(cmp.slow_mbps > cmp.filer_mbps, "inversion must hold");
-            assert!(
-                cmp.xmit_wait_fraction > 0.5,
-                "sendmsg must dominate lock waits"
-            );
-            cmp.slow_mbps
-        })
+fn slow_server(h: &mut Harness) {
+    h.group("sec3_5_slow_server");
+    h.sample_size(10);
+    h.bench("three_servers_5mb", || {
+        let cmp = figures::slow_server_comparison();
+        assert!(cmp.slow_mbps > cmp.filer_mbps, "inversion must hold");
+        assert!(
+            cmp.xmit_wait_fraction > 0.5,
+            "sendmsg must dominate lock waits"
+        );
+        cmp.slow_mbps
     });
-    g.finish();
 }
 
 /// Ablations: the sweeps DESIGN.md calls out, at reduced sizes.
-fn ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("soft_limit_sweep", |b| {
-        b.iter(|| nfsperf_experiments::soft_limit_sweep(black_box(&[96, 192, 384])))
+fn ablations(h: &mut Harness) {
+    h.group("ablations");
+    h.sample_size(10);
+    h.bench("soft_limit_sweep", || {
+        nfsperf_experiments::soft_limit_sweep(black_box(&[96, 192, 384]))
     });
-    g.bench_function("mtu_jumbo", |b| {
-        b.iter(|| {
-            let m = nfsperf_experiments::mtu_ablation();
-            assert!(m.jumbo_frags_per_rpc < m.standard_frags_per_rpc);
-            m.jumbo_mbps
-        })
+    h.bench("mtu_jumbo", || {
+        let m = nfsperf_experiments::mtu_ablation();
+        assert!(m.jumbo_frags_per_rpc < m.standard_frags_per_rpc);
+        m.jumbo_mbps
     });
-    g.bench_function("cpu_1_vs_2", |b| {
-        b.iter(|| {
-            let a = nfsperf_experiments::cpu_ablation();
-            assert!(
-                a.one_cpu_wait_ns > a.two_cpu_wait_ns,
-                "a second CPU must relieve lock waiting"
-            );
-            a.two_cpu_mbps
-        })
+    h.bench("cpu_1_vs_2", || {
+        let a = nfsperf_experiments::cpu_ablation();
+        assert!(
+            a.one_cpu_wait_ns > a.two_cpu_wait_ns,
+            "a second CPU must relieve lock waiting"
+        );
+        a.two_cpu_mbps
     });
-    g.finish();
 }
 
 /// The benchmark the paper builds everything on: one 5 MB Bonnie run.
-fn bonnie_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bonnie");
-    g.sample_size(20);
-    g.bench_function("sequential_write_5mb_filer", |b| {
-        b.iter(|| {
-            let s = Scenario::new(ClientTuning::full_patch(), ServerKind::Filer);
-            let out = run_bonnie(&s, black_box(5 << 20));
-            assert_eq!(out.report.latencies.len(), 640);
-            assert!(out.report.mean_latency() < SimDuration::from_millis(1));
-            out.report.write_mbps()
-        })
+fn bonnie_run(h: &mut Harness) {
+    h.group("bonnie");
+    h.sample_size(20);
+    h.bench("sequential_write_5mb_filer", || {
+        let s = Scenario::new(ClientTuning::full_patch(), ServerKind::Filer);
+        let out = run_bonnie(&s, black_box(5 << 20));
+        assert_eq!(out.report.latencies.len(), 640);
+        assert!(out.report.mean_latency() < SimDuration::from_millis(1));
+        out.report.write_mbps()
     });
-    g.finish();
 }
 
-criterion_group!(
-    paper,
-    fig1_throughput,
-    fig2_spikes,
-    fig3_list_growth,
-    fig4_hash,
-    fig5_fig6_histograms,
-    table1_lock,
-    fig7_throughput,
-    slow_server,
-    ablations,
-    bonnie_run
-);
-criterion_main!(paper);
+fn main() {
+    let mut h = Harness::from_env();
+    fig1_throughput(&mut h);
+    fig2_spikes(&mut h);
+    fig3_list_growth(&mut h);
+    fig4_hash(&mut h);
+    fig5_fig6_histograms(&mut h);
+    table1_lock(&mut h);
+    fig7_throughput(&mut h);
+    slow_server(&mut h);
+    ablations(&mut h);
+    bonnie_run(&mut h);
+    h.finish();
+}

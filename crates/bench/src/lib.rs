@@ -1,6 +1,11 @@
-//! Criterion benchmark harness for the nfsperf workspace.
+//! Benchmark harness for the nfsperf workspace.
 //!
-//! The actual benchmarks live in `benches/`; this library only re-exports
-//! the experiment runners so the bench targets share one entry point.
+//! [`harness`] is the in-tree criterion replacement (warmup, calibrated
+//! batching, mean/p50/p99 per benchmark); the actual benchmarks live in
+//! `benches/`. The experiment runners are re-exported so the bench
+//! targets share one entry point.
 
+pub mod harness;
+
+pub use harness::{BenchResult, Harness};
 pub use nfsperf_experiments as experiments;

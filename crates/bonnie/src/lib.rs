@@ -10,7 +10,7 @@
 
 pub mod stats;
 
-pub use stats::{decile_means, mean, mean_excluding, spike_count, trend_ratio};
+pub use stats::{decile_means, mean, mean_excluding, percentile, spike_count, trend_ratio};
 
 use nfsperf_kernel::SimFile;
 use nfsperf_sim::{Histogram, Sim, SimDuration, SimTime};

@@ -2,13 +2,37 @@
 
 use nfsperf_sim::SimDuration;
 
-/// Mean of a latency series ([`SimDuration::ZERO`] when empty).
+/// Mean of a latency series ([`SimDuration::ZERO`] when empty), rounded
+/// to the nearest nanosecond. Plain `total / len` floors toward zero,
+/// which biased every decile mean (and thus the Figure 3 growth
+/// detection) low by up to 1 ns per sample.
 pub fn mean(samples: &[SimDuration]) -> SimDuration {
     if samples.is_empty() {
         return SimDuration::ZERO;
     }
     let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
-    SimDuration(total / samples.len() as u64)
+    let len = samples.len() as u64;
+    SimDuration((total + len / 2) / len)
+}
+
+/// Nearest-rank percentile of a latency series, `p` in `[0, 100]`
+/// ([`SimDuration::ZERO`] when empty). `percentile(s, 50.0)` is the
+/// median; `percentile(s, 99.0)` the p99 the bench harness reports.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(samples: &[SimDuration], p: f64) -> SimDuration {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if samples.is_empty() {
+        return SimDuration::ZERO;
+    }
+    let mut sorted: Vec<SimDuration> = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    // Nearest-rank: smallest value with at least p% of samples <= it.
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Mean excluding samples above `threshold` — how the paper computes
@@ -68,6 +92,31 @@ mod tests {
     fn mean_basic_and_empty() {
         assert_eq!(mean(&[]), SimDuration::ZERO);
         assert_eq!(mean(&[us(10), us(20), us(30)]), us(20));
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest_instead_of_flooring() {
+        // 1 + 2 = 3, /2 = 1.5 → rounds to 2 (floor division gave 1).
+        assert_eq!(mean(&[SimDuration(1), SimDuration(2)]), SimDuration(2));
+        // 1 + 1 + 2 = 4, /3 = 1.33 → rounds to 1.
+        assert_eq!(
+            mean(&[SimDuration(1), SimDuration(1), SimDuration(2)]),
+            SimDuration(1)
+        );
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<SimDuration> = (1..=100).map(us).collect();
+        assert_eq!(percentile(&samples, 50.0), us(50));
+        assert_eq!(percentile(&samples, 99.0), us(99));
+        assert_eq!(percentile(&samples, 100.0), us(100));
+        assert_eq!(percentile(&samples, 0.0), us(1));
+        assert_eq!(percentile(&[], 50.0), SimDuration::ZERO);
+        // Order-independent: reversed input gives the same answer.
+        let mut rev = samples.clone();
+        rev.reverse();
+        assert_eq!(percentile(&rev, 99.0), us(99));
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod executor;
 pub mod metrics;
+pub mod proptest;
 pub mod rng;
 pub mod select;
 pub mod sync;

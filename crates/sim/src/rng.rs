@@ -6,40 +6,118 @@
 //! opposite of the paper's experience on real hardware (Section 2.2 laments
 //! large run-to-run variation on Linux); determinism is what lets our test
 //! suite assert on the shapes the paper could only eyeball.
+//!
+//! The generator is an in-tree xoshiro256++ (Blackman & Vigna) seeded by a
+//! SplitMix64 expansion of a 64-bit seed. Owning the implementation keeps
+//! the workspace hermetic (no registry access needed to build) and pins the
+//! exact output stream: a dependency upgrade can never silently reshuffle
+//! every figure. The first outputs for seed 42 are frozen by a golden test
+//! below.
 
 use std::cell::RefCell;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
+
+/// SplitMix64 step: expands a 64-bit seed into an arbitrarily long,
+/// well-mixed stream. Used only for seeding [`Xoshiro256pp`] and for
+/// deriving per-case seeds in the property-test driver.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++ core state. 256 bits, period 2^256 - 1, passes BigCrush.
+#[derive(Clone)]
+struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    fn from_seed(seed: u64) -> Xoshiro256pp {
+        // SplitMix64 seeding is the construction the xoshiro authors
+        // recommend: it guarantees the all-zero state is unreachable and
+        // decorrelates nearby seeds.
+        let mut sm = seed;
+        Xoshiro256pp {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A seeded pseudo-random source with interior mutability.
 pub struct SimRng {
-    rng: RefCell<SmallRng>,
+    rng: RefCell<Xoshiro256pp>,
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> SimRng {
         SimRng {
-            rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+            rng: RefCell::new(Xoshiro256pp::from_seed(seed)),
         }
     }
 
-    /// Uniform integer in `[lo, hi)`.
+    /// Next raw 64-bit output of the underlying xoshiro256++ stream.
+    ///
+    /// Exposed so tests can pin golden values and the property-test driver
+    /// can build typed generators without a second RNG implementation.
+    #[inline]
+    pub fn next_u64(&self) -> u64 {
+        self.rng.borrow_mut().next_u64()
+    }
+
+    /// Uniform integer in `[lo, hi)`, free of modulo bias (Lemire's
+    /// widening-multiply rejection method).
     ///
     /// # Panics
     ///
     /// Panics if `lo >= hi`.
     pub fn uniform_u64(&self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.rng.borrow_mut().gen_range(lo..hi)
+        let range = hi - lo;
+        let mut x = self.next_u64();
+        let mut m = u128::from(x) * u128::from(range);
+        let mut low = m as u64;
+        if low < range {
+            // Rejection threshold: 2^64 mod range.
+            let t = range.wrapping_neg() % range;
+            while low < t {
+                x = self.next_u64();
+                m = u128::from(x) * u128::from(range);
+                low = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
     }
 
-    /// Uniform float in `[0, 1)`.
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
     pub fn uniform_f64(&self) -> f64 {
-        self.rng.borrow_mut().gen_range(0.0..1.0)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Bernoulli draw with probability `p`.
@@ -147,5 +225,113 @@ mod tests {
     fn exponential_zero_mean() {
         let rng = SimRng::new(11);
         assert_eq!(rng.exponential(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    /// Golden regression: the first eight raw outputs for seed 42, frozen.
+    /// Every figure in the repo descends from this stream; if a refactor
+    /// changes it, this test fails before any exhibit silently shifts.
+    #[test]
+    fn golden_values_seed_42() {
+        let rng = SimRng::new(42);
+        let got: Vec<u64> = (0..8).map(|_| rng.next_u64()).collect();
+        assert_eq!(got, GOLDEN_SEED_42, "xoshiro256++ stream changed");
+    }
+
+    /// Computed once from this implementation and frozen; matches the
+    /// reference xoshiro256++ with SplitMix64(42) seeding.
+    const GOLDEN_SEED_42: [u64; 8] = [
+        0xD076_4D4F_4476_689F,
+        0x519E_4174_576F_3791,
+        0xFBE0_7CFB_0C24_ED8C,
+        0xB37D_9F60_0CD8_35B8,
+        0xCB23_1C38_7484_6A73,
+        0x968D_9F00_4E50_DE7D,
+        0x2017_18FF_221A_3556,
+        0x9AE9_4E07_0ED8_CB46,
+    ];
+
+    /// Chi-squared-style bucket uniformity for `uniform_u64`: 64 buckets,
+    /// 64 Ki draws. With expected 1024 per bucket, the chi-squared statistic
+    /// over 63 degrees of freedom lies below 110 with overwhelming
+    /// probability for a uniform source (p ~ 2e-4 of a false alarm; the
+    /// stream is fixed, so this either always passes or always fails).
+    #[test]
+    fn uniform_u64_bucket_uniformity() {
+        let rng = SimRng::new(0xC0FFEE);
+        const BUCKETS: usize = 64;
+        const DRAWS: usize = 64 * 1024;
+        let mut counts = [0u64; BUCKETS];
+        for _ in 0..DRAWS {
+            counts[rng.uniform_u64(0, BUCKETS as u64) as usize] += 1;
+        }
+        let expected = (DRAWS / BUCKETS) as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        assert!(chi2 < 110.0, "chi-squared {chi2} too large for uniformity");
+        assert!(chi2 > 30.0, "chi-squared {chi2} suspiciously small");
+    }
+
+    /// `uniform_f64` stays in [0, 1) and fills the unit interval evenly.
+    #[test]
+    fn uniform_f64_in_unit_interval_and_even() {
+        let rng = SimRng::new(99);
+        let mut deciles = [0u32; 10];
+        for _ in 0..10_000 {
+            let v = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&v), "{v} outside [0,1)");
+            deciles[(v * 10.0) as usize] += 1;
+        }
+        for (i, &c) in deciles.iter().enumerate() {
+            assert!((800..1200).contains(&c), "decile {i} count {c} skewed");
+        }
+    }
+
+    /// The jitter band is actually *covered*: over many draws the observed
+    /// min and max approach the band edges, so the band test above isn't
+    /// passing merely because the generator collapsed to the centre.
+    #[test]
+    fn jitter_band_is_covered() {
+        let rng = SimRng::new(5);
+        let base = SimDuration::from_micros(100);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for _ in 0..10_000 {
+            let j = rng.jitter(base, 0.1).as_nanos();
+            lo = lo.min(j);
+            hi = hi.max(j);
+        }
+        assert!(lo <= 90_500, "observed min {lo} never nears lower edge");
+        assert!(hi >= 109_500, "observed max {hi} never nears upper edge");
+    }
+
+    /// Lemire rejection really removes modulo bias: a range just above a
+    /// power of two is the worst case, and the two halves must balance.
+    #[test]
+    fn uniform_u64_no_gross_modulo_bias() {
+        let rng = SimRng::new(17);
+        let range = (1u64 << 33) + 1;
+        let mid = range / 2;
+        let mut below = 0u32;
+        const N: u32 = 20_000;
+        for _ in 0..N {
+            if rng.uniform_u64(0, range) < mid {
+                below += 1;
+            }
+        }
+        let frac = f64::from(below) / f64::from(N);
+        assert!((0.48..0.52).contains(&frac), "half-split {frac} biased");
+    }
+
+    #[test]
+    fn uniform_u64_single_element_range() {
+        let rng = SimRng::new(1);
+        for _ in 0..32 {
+            assert_eq!(rng.uniform_u64(7, 8), 7);
+        }
     }
 }

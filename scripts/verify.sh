@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Hermetic verification: build, test, lint and smoke-run the workspace
+# with networking disabled. The workspace has zero external dependencies
+# (rng/proptest/bench harness are all in-tree), so every step must pass
+# with --offline against an empty cargo registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --workspace --offline"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy --all-targets --workspace --offline -- -D warnings"
+cargo clippy --all-targets --workspace --offline -- -D warnings
+
+echo "==> quickstart smoke run"
+out="$(cargo run -q --release --offline --example quickstart)"
+echo "$out"
+# The example prints "  write throughput :    <mbps> MB/s"; require > 0.
+echo "$out" | awk '
+    /write throughput/ {
+        seen = 1
+        if ($4 + 0 <= 0) { print "FAIL: zero write throughput"; exit 1 }
+    }
+    END {
+        if (!seen) { print "FAIL: no throughput line in quickstart output"; exit 1 }
+    }'
+
+echo "==> no external dependencies"
+if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
+    echo "FAIL: external dependency lines found above"
+    exit 1
+fi
+
+echo "verify: all checks passed"

@@ -1,6 +1,13 @@
 //! Property-based tests over the core data structures and codecs.
+//!
+//! Driven by the in-tree `nfsperf_sim::proptest` module (seeded cases,
+//! shrinking, failure-seed reporting) — one `#[test]` per property the
+//! suite had under the external `proptest` crate, same assertions. A
+//! failure prints the case seed; replay it with
+//! `NFSPERF_PROPTEST_SEED=<seed> NFSPERF_PROPTEST_CASES=1 cargo test <name>`.
 
-use proptest::prelude::*;
+use nfsperf_sim::proptest::{check, CaseOutcome};
+use nfsperf_sim::{prop_assert, prop_assert_eq, prop_assume};
 
 use nfsperf_client::{IndexKind, NfsPageReq, RequestIndex};
 use nfsperf_kernel::{split_into_pages, PAGE_SIZE};
@@ -16,305 +23,390 @@ use nfsperf_xdr::{Decoder, Encoder, XdrDecode, XdrEncode};
 // XDR codec round trips.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn xdr_u32_round_trip(v in any::<u32>()) {
+#[test]
+fn xdr_u32_round_trip() {
+    check("xdr_u32_round_trip", |g| g.any_u32(), |&v| {
         let mut e = Encoder::new();
         e.put_u32(v);
         let bytes = e.into_bytes();
         prop_assert_eq!(bytes.len(), 4);
         prop_assert_eq!(Decoder::new(&bytes).get_u32().unwrap(), v);
-    }
+        CaseOutcome::Pass
+    });
+}
 
-    #[test]
-    fn xdr_u64_round_trip(v in any::<u64>()) {
+#[test]
+fn xdr_u64_round_trip() {
+    check("xdr_u64_round_trip", |g| g.any_u64(), |&v| {
         let mut e = Encoder::new();
         e.put_u64(v);
         let bytes = e.into_bytes();
         prop_assert_eq!(Decoder::new(&bytes).get_u64().unwrap(), v);
-    }
+        CaseOutcome::Pass
+    });
+}
 
-    #[test]
-    fn xdr_opaque_round_trip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn xdr_opaque_round_trip() {
+    check("xdr_opaque_round_trip", |g| g.bytes(0, 2048), |data| {
         let mut e = Encoder::new();
-        e.put_opaque(&data);
+        e.put_opaque(data);
         let bytes = e.into_bytes();
         // Always 4-byte aligned.
         prop_assert_eq!(bytes.len() % 4, 0);
         let mut d = Decoder::new(&bytes);
         prop_assert_eq!(d.get_opaque().unwrap(), &data[..]);
         prop_assert!(d.is_empty());
-    }
+        CaseOutcome::Pass
+    });
+}
 
-    #[test]
-    fn xdr_string_round_trip(s in "\\PC{0,256}") {
+#[test]
+fn xdr_string_round_trip() {
+    check("xdr_string_round_trip", |g| g.unicode_string(0, 257), |s| {
         let mut e = Encoder::new();
-        e.put_string(&s);
+        e.put_string(s);
         let bytes = e.into_bytes();
         let mut d = Decoder::new(&bytes);
-        prop_assert_eq!(d.get_string().unwrap(), s);
-    }
+        prop_assert_eq!(&d.get_string().unwrap(), s);
+        CaseOutcome::Pass
+    });
+}
 
-    #[test]
-    fn xdr_mixed_sequence_round_trip(
-        ints in proptest::collection::vec(any::<u32>(), 1..20),
-        blob in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
-        let mut e = Encoder::new();
-        for &v in &ints {
-            e.put_u32(v);
-        }
-        e.put_opaque(&blob);
-        let bytes = e.into_bytes();
-        let mut d = Decoder::new(&bytes);
-        for &v in &ints {
-            prop_assert_eq!(d.get_u32().unwrap(), v);
-        }
-        prop_assert_eq!(d.get_opaque().unwrap(), &blob[..]);
-    }
+#[test]
+fn xdr_mixed_sequence_round_trip() {
+    check(
+        "xdr_mixed_sequence_round_trip",
+        |g| (g.vec(1, 20, |g| g.any_u32()), g.bytes(0, 128)),
+        |(ints, blob)| {
+            let mut e = Encoder::new();
+            for &v in ints {
+                e.put_u32(v);
+            }
+            e.put_opaque(blob);
+            let bytes = e.into_bytes();
+            let mut d = Decoder::new(&bytes);
+            for &v in ints {
+                prop_assert_eq!(d.get_u32().unwrap(), v);
+            }
+            prop_assert_eq!(d.get_opaque().unwrap(), &blob[..]);
+            CaseOutcome::Pass
+        },
+    );
+}
 
-    /// A decoder never panics on arbitrary junk — it returns errors.
-    #[test]
-    fn xdr_decoder_is_panic_free(junk in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let mut d = Decoder::new(&junk);
+/// A decoder never panics on arbitrary junk — it returns errors.
+#[test]
+fn xdr_decoder_is_panic_free() {
+    check("xdr_decoder_is_panic_free", |g| g.bytes(0, 512), |junk| {
+        let mut d = Decoder::new(junk);
         let _ = d.get_u32();
         let _ = d.get_opaque();
         let _ = d.get_string();
         let _ = d.get_u64();
-    }
+        CaseOutcome::Pass
+    });
 }
 
 // ---------------------------------------------------------------------
 // NFSv3 message round trips.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn write3_args_round_trip(
-        fileid in any::<u64>(),
-        offset in 0u64..1 << 40,
-        count in 0u32..65536,
-        stable_pick in 0u8..3,
-    ) {
-        let stable = match stable_pick {
-            0 => StableHow::Unstable,
-            1 => StableHow::DataSync,
-            _ => StableHow::FileSync,
-        };
-        let args = Write3Args::new(FileHandle::for_fileid(fileid), offset, count, stable);
-        let mut e = Encoder::new();
-        args.encode(&mut e);
-        prop_assert_eq!(e.len(), args.encoded_len());
-        let bytes = e.into_bytes();
-        let back = Write3Args::decode(&mut Decoder::new(&bytes)).unwrap();
-        prop_assert_eq!(back, args);
-    }
+#[test]
+fn write3_args_round_trip() {
+    check(
+        "write3_args_round_trip",
+        |g| {
+            (
+                g.any_u64(),
+                g.u64_in(0, 1 << 40),
+                g.u32_in(0, 65536),
+                g.u8_in(0, 3),
+            )
+        },
+        |&(fileid, offset, count, stable_pick)| {
+            let stable = match stable_pick {
+                0 => StableHow::Unstable,
+                1 => StableHow::DataSync,
+                _ => StableHow::FileSync,
+            };
+            let args = Write3Args::new(FileHandle::for_fileid(fileid), offset, count, stable);
+            let mut e = Encoder::new();
+            args.encode(&mut e);
+            prop_assert_eq!(e.len(), args.encoded_len());
+            let bytes = e.into_bytes();
+            let back = Write3Args::decode(&mut Decoder::new(&bytes)).unwrap();
+            prop_assert_eq!(back, args);
+            CaseOutcome::Pass
+        },
+    );
+}
 
-    #[test]
-    fn write3_res_round_trip(
-        count in any::<u32>(),
-        verf in any::<u64>(),
-        size in any::<u64>(),
-    ) {
-        let res = Write3Res::ok(
-            WccData::full(size / 2, Fattr3::regular(3, size)),
-            count,
-            StableHow::FileSync,
-            WriteVerf(verf),
-        );
-        let mut e = Encoder::new();
-        res.encode(&mut e);
-        let bytes = e.into_bytes();
-        let back = Write3Res::decode(&mut Decoder::new(&bytes)).unwrap();
-        prop_assert_eq!(back, res);
-    }
+#[test]
+fn write3_res_round_trip() {
+    check(
+        "write3_res_round_trip",
+        |g| (g.any_u32(), g.any_u64(), g.any_u64()),
+        |&(count, verf, size)| {
+            let res = Write3Res::ok(
+                WccData::full(size / 2, Fattr3::regular(3, size)),
+                count,
+                StableHow::FileSync,
+                WriteVerf(verf),
+            );
+            let mut e = Encoder::new();
+            res.encode(&mut e);
+            let bytes = e.into_bytes();
+            let back = Write3Res::decode(&mut Decoder::new(&bytes)).unwrap();
+            prop_assert_eq!(back, res);
+            CaseOutcome::Pass
+        },
+    );
+}
 
-    #[test]
-    fn rpc_call_header_round_trip(
-        xid in any::<u32>(),
-        proc in 0u32..22,
-        uid in any::<u32>(),
-        machine in "[a-z]{1,32}",
-    ) {
-        let cred = AuthUnix {
-            stamp: 1,
-            machine,
-            uid,
-            gid: uid / 2,
-            gids: vec![1, 2],
-        };
-        let args = Commit3Args {
-            file: FileHandle::for_fileid(u64::from(xid)),
-            offset: 0,
-            count: 0,
-        };
-        let msg = encode_call(xid, 100_003, 3, proc, &cred, &args);
-        let (hdr, mut dec) = decode_call(&msg).unwrap();
-        prop_assert_eq!(hdr.xid, xid);
-        prop_assert_eq!(hdr.proc, proc);
-        prop_assert_eq!(&hdr.cred, &cred);
-        let back = Commit3Args::decode(&mut dec).unwrap();
-        prop_assert_eq!(back, args);
-    }
+#[test]
+fn rpc_call_header_round_trip() {
+    check(
+        "rpc_call_header_round_trip",
+        |g| {
+            (
+                g.any_u32(),
+                g.u32_in(0, 22),
+                g.any_u32(),
+                g.lowercase_string(1, 33),
+            )
+        },
+        |(xid, proc, uid, machine)| {
+            let cred = AuthUnix {
+                stamp: 1,
+                machine: machine.clone(),
+                uid: *uid,
+                gid: *uid / 2,
+                gids: vec![1, 2],
+            };
+            let args = Commit3Args {
+                file: FileHandle::for_fileid(u64::from(*xid)),
+                offset: 0,
+                count: 0,
+            };
+            let msg = encode_call(*xid, 100_003, 3, *proc, &cred, &args);
+            let (hdr, mut dec) = decode_call(&msg).unwrap();
+            prop_assert_eq!(hdr.xid, *xid);
+            prop_assert_eq!(hdr.proc, *proc);
+            prop_assert_eq!(&hdr.cred, &cred);
+            let back = Commit3Args::decode(&mut dec).unwrap();
+            prop_assert_eq!(back, args);
+            CaseOutcome::Pass
+        },
+    );
+}
 
-    #[test]
-    fn rpc_reply_round_trip(xid in any::<u32>(), status_pick in 0u8..4) {
-        let status = match status_pick {
-            0 => NfsStat3::Ok,
-            1 => NfsStat3::Io,
-            2 => NfsStat3::Nospc,
-            _ => NfsStat3::Stale,
-        };
-        let msg = encode_reply(xid, &(status as u32));
-        let (hdr, mut dec) = decode_reply(&msg).unwrap();
-        prop_assert_eq!(hdr.xid, xid);
-        prop_assert_eq!(dec.get_u32().unwrap(), status as u32);
-    }
+#[test]
+fn rpc_reply_round_trip() {
+    check(
+        "rpc_reply_round_trip",
+        |g| (g.any_u32(), g.u8_in(0, 4)),
+        |&(xid, status_pick)| {
+            let status = match status_pick {
+                0 => NfsStat3::Ok,
+                1 => NfsStat3::Io,
+                2 => NfsStat3::Nospc,
+                _ => NfsStat3::Stale,
+            };
+            let msg = encode_reply(xid, &(status as u32));
+            let (hdr, mut dec) = decode_reply(&msg).unwrap();
+            prop_assert_eq!(hdr.xid, xid);
+            prop_assert_eq!(dec.get_u32().unwrap(), status as u32);
+            CaseOutcome::Pass
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Page splitting.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn page_split_covers_exactly(offset in 0u64..1 << 30, len in 0u64..256 * 1024) {
-        let segs = split_into_pages(offset, len);
-        // Total coverage.
-        let total: u64 = segs.iter().map(|s| s.len).sum();
-        prop_assert_eq!(total, len);
-        // Contiguous, ordered, within page bounds.
-        let mut pos = offset;
-        for s in &segs {
-            prop_assert_eq!(s.file_offset(), pos);
-            prop_assert!(s.len >= 1 && s.len <= PAGE_SIZE);
-            prop_assert!(s.offset_in_page + s.len <= PAGE_SIZE);
-            pos += s.len;
-        }
-        // No two segments share a page.
-        for w in segs.windows(2) {
-            prop_assert!(w[0].index < w[1].index);
-        }
-    }
+#[test]
+fn page_split_covers_exactly() {
+    check(
+        "page_split_covers_exactly",
+        |g| (g.u64_in(0, 1 << 30), g.u64_in(0, 256 * 1024)),
+        |&(offset, len)| {
+            let segs = split_into_pages(offset, len);
+            // Total coverage.
+            let total: u64 = segs.iter().map(|s| s.len).sum();
+            prop_assert_eq!(total, len);
+            // Contiguous, ordered, within page bounds.
+            let mut pos = offset;
+            for s in &segs {
+                prop_assert_eq!(s.file_offset(), pos);
+                prop_assert!(s.len >= 1 && s.len <= PAGE_SIZE);
+                prop_assert!(s.offset_in_page + s.len <= PAGE_SIZE);
+                pos += s.len;
+            }
+            // No two segments share a page.
+            for w in segs.windows(2) {
+                prop_assert!(w[0].index < w[1].index);
+            }
+            CaseOutcome::Pass
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Fragmentation arithmetic.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn fragments_monotone_in_payload(a in 0usize..65536, b in 0usize..65536) {
-        let (lo, hi) = (a.min(b), a.max(b));
-        prop_assert!(fragments_for(lo, 1500) <= fragments_for(hi, 1500));
-        prop_assert!(wire_bytes(lo, 1500) <= wire_bytes(hi, 1500));
-    }
+#[test]
+fn fragments_monotone_in_payload() {
+    check(
+        "fragments_monotone_in_payload",
+        |g| (g.usize_in(0, 65536), g.usize_in(0, 65536)),
+        |&(a, b)| {
+            let (lo, hi) = (a.min(b), a.max(b));
+            prop_assert!(fragments_for(lo, 1500) <= fragments_for(hi, 1500));
+            prop_assert!(wire_bytes(lo, 1500) <= wire_bytes(hi, 1500));
+            CaseOutcome::Pass
+        },
+    );
+}
 
-    #[test]
-    fn bigger_mtu_never_fragments_more(payload in 0usize..65536) {
-        prop_assert!(fragments_for(payload, 9000) <= fragments_for(payload, 1500));
-        prop_assert!(wire_bytes(payload, 9000) <= wire_bytes(payload, 1500));
-    }
+#[test]
+fn bigger_mtu_never_fragments_more() {
+    check(
+        "bigger_mtu_never_fragments_more",
+        |g| g.usize_in(0, 65536),
+        |&payload| {
+            prop_assert!(fragments_for(payload, 9000) <= fragments_for(payload, 1500));
+            prop_assert!(wire_bytes(payload, 9000) <= wire_bytes(payload, 1500));
+            CaseOutcome::Pass
+        },
+    );
+}
 
-    #[test]
-    fn wire_overhead_is_bounded(payload in 0usize..65536) {
-        let w = wire_bytes(payload, 1500);
-        prop_assert!(w > payload);
-        // Overhead: <= 66 bytes per fragment plus the UDP header.
-        let frags = fragments_for(payload, 1500);
-        prop_assert!(w <= payload + 8 + frags * 58);
-    }
+#[test]
+fn wire_overhead_is_bounded() {
+    check(
+        "wire_overhead_is_bounded",
+        |g| g.usize_in(0, 65536),
+        |&payload| {
+            let w = wire_bytes(payload, 1500);
+            prop_assert!(w > payload);
+            // Overhead: <= 66 bytes per fragment plus the UDP header.
+            let frags = fragments_for(payload, 1500);
+            prop_assert!(w <= payload + 8 + frags * 58);
+            CaseOutcome::Pass
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Request index: the list and the hash agree on all operations.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn index_kinds_are_observationally_equal(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..200)
-    ) {
-        let mut list = RequestIndex::new(IndexKind::SortedList);
-        let mut hash = RequestIndex::new(IndexKind::HashTable);
-        for (insert, page) in ops {
-            if insert {
-                let in_list = list.find(page).found.is_some();
-                let in_hash = hash.find(page).found.is_some();
-                prop_assert_eq!(in_list, in_hash);
-                if !in_list {
-                    list.insert(NfsPageReq::new(page, 0, PAGE_SIZE, SimTime::ZERO));
-                    hash.insert(NfsPageReq::new(page, 0, PAGE_SIZE, SimTime::ZERO));
+#[test]
+fn index_kinds_are_observationally_equal() {
+    check(
+        "index_kinds_are_observationally_equal",
+        |g| g.vec(1, 200, |g| (g.any_bool(), g.u64_in(0, 64))),
+        |ops: &Vec<(bool, u64)>| {
+            let mut list = RequestIndex::new(IndexKind::SortedList);
+            let mut hash = RequestIndex::new(IndexKind::HashTable);
+            for &(insert, page) in ops {
+                if insert {
+                    let in_list = list.find(page).found.is_some();
+                    let in_hash = hash.find(page).found.is_some();
+                    prop_assert_eq!(in_list, in_hash);
+                    if !in_list {
+                        list.insert(NfsPageReq::new(page, 0, PAGE_SIZE, SimTime::ZERO));
+                        hash.insert(NfsPageReq::new(page, 0, PAGE_SIZE, SimTime::ZERO));
+                    }
+                } else {
+                    let a = list.remove(page).map(|r| r.page_index);
+                    let b = hash.remove(page).map(|r| r.page_index);
+                    prop_assert_eq!(a, b);
                 }
-            } else {
-                let a = list.remove(page).map(|r| r.page_index);
-                let b = hash.remove(page).map(|r| r.page_index);
-                prop_assert_eq!(a, b);
+                prop_assert_eq!(list.len(), hash.len());
             }
-            prop_assert_eq!(list.len(), hash.len());
-        }
-        // Same final contents in the same order.
-        let pa: Vec<u64> = list.iter().map(|r| r.page_index).collect();
-        let pb: Vec<u64> = hash.iter().map(|r| r.page_index).collect();
-        prop_assert_eq!(pa.clone(), pb);
-        // Sorted invariant.
-        let mut sorted = pa.clone();
-        sorted.sort_unstable();
-        prop_assert_eq!(pa, sorted);
-    }
+            // Same final contents in the same order.
+            let pa: Vec<u64> = list.iter().map(|r| r.page_index).collect();
+            let pb: Vec<u64> = hash.iter().map(|r| r.page_index).collect();
+            prop_assert_eq!(pa.clone(), pb);
+            // Sorted invariant.
+            let mut sorted = pa.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(pa, sorted);
+            CaseOutcome::Pass
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Histogram invariants.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn histogram_conserves_samples(
-        samples in proptest::collection::vec(0u64..10_000_000, 0..300)
-    ) {
-        let durs: Vec<SimDuration> = samples.iter().map(|&n| SimDuration(n)).collect();
-        let h = Histogram::from_samples(SimDuration::from_micros(60), 8, &durs);
-        let binned: u64 = h.bins().iter().sum::<u64>() + h.overflow();
-        prop_assert_eq!(binned, samples.len() as u64);
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        if let Some(&max) = samples.iter().max() {
-            prop_assert_eq!(h.max(), SimDuration(max));
-        }
-        if let Some(&min) = samples.iter().min() {
-            prop_assert_eq!(h.min(), Some(SimDuration(min)));
-        }
-        // Mean is bounded by min and max.
-        if !samples.is_empty() {
-            prop_assert!(h.mean() >= h.min().unwrap());
-            prop_assert!(h.mean() <= h.max());
-        }
-    }
+#[test]
+fn histogram_conserves_samples() {
+    check(
+        "histogram_conserves_samples",
+        |g| g.vec(0, 300, |g| g.u64_in(0, 10_000_000)),
+        |samples: &Vec<u64>| {
+            let durs: Vec<SimDuration> = samples.iter().map(|&n| SimDuration(n)).collect();
+            let h = Histogram::from_samples(SimDuration::from_micros(60), 8, &durs);
+            let binned: u64 = h.bins().iter().sum::<u64>() + h.overflow();
+            prop_assert_eq!(binned, samples.len() as u64);
+            prop_assert_eq!(h.count(), samples.len() as u64);
+            if let Some(&max) = samples.iter().max() {
+                prop_assert_eq!(h.max(), SimDuration(max));
+            }
+            if let Some(&min) = samples.iter().min() {
+                prop_assert_eq!(h.min(), Some(SimDuration(min)));
+            }
+            // Mean is bounded by min and max.
+            if !samples.is_empty() {
+                prop_assert!(h.mean() >= h.min().unwrap());
+                prop_assert!(h.mean() <= h.max());
+            }
+            CaseOutcome::Pass
+        },
+    );
 }
 
 // ---------------------------------------------------------------------
 // Request merge semantics.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #[test]
-    fn merge_yields_exact_union_when_contiguous(
-        a_start in 0u64..PAGE_SIZE, a_len in 1u64..PAGE_SIZE,
-        b_start in 0u64..PAGE_SIZE, b_len in 1u64..PAGE_SIZE,
-    ) {
-        prop_assume!(a_start + a_len <= PAGE_SIZE);
-        prop_assume!(b_start + b_len <= PAGE_SIZE);
-        let req = NfsPageReq::new(0, a_start, a_len, SimTime::ZERO);
-        let touching = b_start <= a_start + a_len && a_start <= b_start + b_len;
-        let merged = req.merge(b_start, b_len);
-        prop_assert_eq!(merged, touching);
-        if merged {
-            prop_assert_eq!(req.offset_in_page(), a_start.min(b_start));
-            let end = (a_start + a_len).max(b_start + b_len);
-            prop_assert_eq!(req.len(), end - req.offset_in_page());
-        } else {
-            prop_assert_eq!(req.offset_in_page(), a_start);
-            prop_assert_eq!(req.len(), a_len);
-        }
-    }
+#[test]
+fn merge_yields_exact_union_when_contiguous() {
+    check(
+        "merge_yields_exact_union_when_contiguous",
+        |g| {
+            (
+                g.u64_in(0, PAGE_SIZE),
+                g.u64_in(1, PAGE_SIZE),
+                g.u64_in(0, PAGE_SIZE),
+                g.u64_in(1, PAGE_SIZE),
+            )
+        },
+        |&(a_start, a_len, b_start, b_len)| {
+            // Shrinking may drive a length to 0 or a range past the page;
+            // re-check the generator's preconditions as assumptions.
+            prop_assume!(a_len >= 1 && b_len >= 1);
+            prop_assume!(a_start + a_len <= PAGE_SIZE);
+            prop_assume!(b_start + b_len <= PAGE_SIZE);
+            let req = NfsPageReq::new(0, a_start, a_len, SimTime::ZERO);
+            let touching = b_start <= a_start + a_len && a_start <= b_start + b_len;
+            let merged = req.merge(b_start, b_len);
+            prop_assert_eq!(merged, touching);
+            if merged {
+                prop_assert_eq!(req.offset_in_page(), a_start.min(b_start));
+                let end = (a_start + a_len).max(b_start + b_len);
+                prop_assert_eq!(req.len(), end - req.offset_in_page());
+            } else {
+                prop_assert_eq!(req.offset_in_page(), a_start);
+                prop_assert_eq!(req.len(), a_len);
+            }
+            CaseOutcome::Pass
+        },
+    );
 }
