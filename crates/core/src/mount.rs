@@ -32,7 +32,7 @@ use nfsperf_nfs3::{
     NFS_V3,
 };
 use nfsperf_sim::{Counter, Receiver, SimDuration, WaitQueue};
-use nfsperf_sunrpc::{RpcXprt, XprtConfig};
+use nfsperf_sunrpc::{Transport, Xprt, XprtConfig};
 use nfsperf_xdr::{Decoder, XdrDecode};
 
 use crate::inode::NfsInode;
@@ -57,6 +57,8 @@ pub struct MountConfig {
     pub soft_limit: usize,
     /// Per-mount request count putting writers to sleep (2.4.4: 256).
     pub hard_limit: usize,
+    /// RPC transport flavour (the paper's client mounts over UDP).
+    pub transport: Transport,
 }
 
 impl Default for MountConfig {
@@ -69,6 +71,7 @@ impl Default for MountConfig {
             commit_threshold: 1 << 20,
             soft_limit: MAX_REQUEST_SOFT,
             hard_limit: MAX_REQUEST_HARD,
+            transport: Transport::Udp,
         }
     }
 }
@@ -94,7 +97,7 @@ pub struct MountStats {
 pub struct NfsMount {
     /// The client machine this mount lives on.
     pub kernel: Kernel,
-    xprt: Rc<RpcXprt>,
+    xprt: Rc<Xprt>,
     config: MountConfig,
     /// All inodes with write state, for `nfs_flushd`.
     inodes: RefCell<Vec<Rc<NfsInode>>>,
@@ -118,7 +121,7 @@ impl NfsMount {
         rx: Receiver<DatagramPayload>,
         config: MountConfig,
     ) -> Rc<NfsMount> {
-        let xprt = RpcXprt::new(
+        let xprt = Xprt::new(
             kernel,
             path,
             rx,
@@ -129,6 +132,7 @@ impl NfsMount {
                 bkl_around_sendmsg: config.tuning.bkl_around_sendmsg,
                 ..XprtConfig::default()
             },
+            config.transport,
         );
         let mount = Rc::new(NfsMount {
             kernel: kernel.clone(),
@@ -205,7 +209,7 @@ impl NfsMount {
     }
 
     /// The RPC transport (for its statistics).
-    pub fn xprt(&self) -> &Rc<RpcXprt> {
+    pub fn xprt(&self) -> &Rc<Xprt> {
         &self.xprt
     }
 

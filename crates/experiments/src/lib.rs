@@ -2,7 +2,8 @@
 //!
 //! [`figures`] has one runner per exhibit (Figures 1–7, Table 1, the
 //! §3.5 slow-server comparison); [`ablations`] sweeps the design
-//! parameters; [`scenario`] assembles worlds; [`render`] writes CSVs and
+//! parameters; [`transport`] compares UDP and TCP mounts under packet
+//! loss; [`scenario`] assembles worlds; [`render`] writes CSVs and
 //! ASCII charts.
 
 pub mod ablations;
@@ -10,6 +11,7 @@ pub mod concurrency;
 pub mod figures;
 pub mod render;
 pub mod scenario;
+pub mod transport;
 
 pub use ablations::{
     commit_threshold_sweep, cpu_ablation, mtu_ablation, nvram_sweep, slot_table_sweep,
@@ -27,3 +29,4 @@ pub use scenario::{
     run_bonnie, run_custom, run_local, run_local_with_ram, write_throughput_mbps, RunOutput,
     Scenario, ServerKind,
 };
+pub use transport::{transport_sweep, TransportRow, TransportSweep, LOSS_RATES};

@@ -10,7 +10,8 @@ use nfsperf_kernel::{CostTable, Kernel, KernelConfig};
 use nfsperf_net::{Nic, NicSpec, Path};
 use nfsperf_server::{NfsServer, ServerConfig, ServerStats};
 use nfsperf_sim::{LockStats, ProfileRow, Sim};
-use nfsperf_sunrpc::XprtStats;
+use nfsperf_sunrpc::{Transport, XprtStats};
+use nfsperf_tcp::TcpStats;
 
 /// Which server the client mounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +78,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Record per-call latencies (disable for big sweeps).
     pub record_latencies: bool,
+    /// Probability that a datagram transmitted by the client NIC is lost
+    /// (requests and, over TCP, the client's ACKs). 0 everywhere except
+    /// the transport loss sweep.
+    pub loss: f64,
 }
 
 impl Scenario {
@@ -96,6 +101,7 @@ impl Scenario {
             costs: CostTable::default(),
             seed: 0x1f5,
             record_latencies: true,
+            loss: 0.0,
         }
     }
 
@@ -104,6 +110,18 @@ impl Scenario {
     pub fn with_jumbo_frames(mut self) -> Scenario {
         self.client_nic.mtu = 9000;
         self.server_nic.mtu = 9000;
+        self
+    }
+
+    /// Mounts over the given RPC transport (default UDP).
+    pub fn with_transport(mut self, transport: Transport) -> Scenario {
+        self.mount.transport = transport;
+        self
+    }
+
+    /// Drops each client-transmitted datagram with probability `loss`.
+    pub fn with_loss(mut self, loss: f64) -> Scenario {
+        self.loss = loss;
         self
     }
 
@@ -139,6 +157,10 @@ pub struct RunOutput {
     pub peak_dirty_pages: usize,
     /// Times the writer hit the memory hard limit.
     pub throttle_events: u64,
+    /// Datagrams the client NIC dropped (zero unless `Scenario::loss`).
+    pub client_drops: u64,
+    /// TCP endpoint counters, when the mount ran over TCP.
+    pub tcp_stats: Option<TcpStats>,
 }
 
 /// Runs the Bonnie sequential-write benchmark of `file_size` bytes under
@@ -155,14 +177,18 @@ pub fn run_bonnie(scenario: &Scenario, file_size: u64) -> RunOutput {
             costs: scenario.costs.clone(),
         },
     );
-    let (cnic, crx) = Nic::new(&sim, "client", scenario.client_nic);
+    let (cnic, crx) = Nic::with_loss(&sim, "client", scenario.client_nic, scenario.loss, scenario.seed);
     let (snic, srx) = Nic::new(&sim, "server", scenario.server_nic);
     let to_server = Path {
         local: Rc::clone(&cnic),
         remote: snic,
         latency: Path::default_latency(),
     };
-    let server = NfsServer::spawn(
+    let spawn_server = match scenario.mount.transport {
+        Transport::Udp => NfsServer::spawn,
+        Transport::Tcp => NfsServer::spawn_tcp,
+    };
+    let server = spawn_server(
         &sim,
         srx,
         to_server.reversed(),
@@ -193,6 +219,8 @@ pub fn run_bonnie(scenario: &Scenario, file_size: u64) -> RunOutput {
         fragments_sent: cnic.fragments_sent(),
         peak_dirty_pages: kernel.mem.peak_dirty_pages(),
         throttle_events: kernel.mem.throttle_events(),
+        client_drops: cnic.drops(),
+        tcp_stats: mount.xprt().tcp().map(|x| x.tcp_stats()),
     }
 }
 
@@ -214,14 +242,18 @@ where
             costs: scenario.costs.clone(),
         },
     );
-    let (cnic, crx) = Nic::new(&sim, "client", scenario.client_nic);
+    let (cnic, crx) = Nic::with_loss(&sim, "client", scenario.client_nic, scenario.loss, scenario.seed);
     let (snic, srx) = Nic::new(&sim, "server", scenario.server_nic);
     let to_server = Path {
         local: Rc::clone(&cnic),
         remote: snic,
         latency: Path::default_latency(),
     };
-    let _server = NfsServer::spawn(
+    let spawn_server = match scenario.mount.transport {
+        Transport::Udp => NfsServer::spawn,
+        Transport::Tcp => NfsServer::spawn_tcp,
+    };
+    let _server = spawn_server(
         &sim,
         srx,
         to_server.reversed(),

@@ -89,8 +89,9 @@ pub struct Nic {
     tx_events: Rc<Trace<usize>>,
     tx_fragments: Rc<Counter>,
     drops: Rc<Counter>,
-    /// When set, datagrams are dropped with this probability (loss-path
-    /// testing; zero in all paper experiments).
+    /// When set, each IP fragment is lost with this probability and a
+    /// datagram survives only if all its fragments do (loss-path testing
+    /// and the transport sweep; zero in all paper experiments).
     loss_probability: f64,
     rng_seed: u64,
     drop_rng: Rc<nfsperf_sim::SimRng>,
@@ -107,8 +108,8 @@ impl Nic {
         Nic::with_loss(sim, name, spec, 0.0, 0)
     }
 
-    /// Like [`Nic::new`] with a datagram loss probability (for tests of
-    /// the RPC retransmission path).
+    /// Like [`Nic::new`] with a per-fragment loss probability (for tests
+    /// of the RPC retransmission path and the UDP-vs-TCP loss sweep).
     pub fn with_loss(
         sim: &Sim,
         name: &'static str,
@@ -165,9 +166,22 @@ impl Nic {
             src.tx_meter.record(sim.now(), payload.len() as u64);
             src.tx_events.record(sim.now(), payload.len());
 
-            if src.loss_probability > 0.0 && src.drop_rng.chance(src.loss_probability) {
-                src.drops.inc();
-                return;
+            // Loss is sampled per IP fragment: a datagram survives only
+            // if every fragment does, so a multi-fragment UDP datagram
+            // (e.g. a 32 KB WRITE) is far more exposed than a
+            // single-fragment TCP segment at the same wire loss rate —
+            // one lost fragment destroys the whole datagram at
+            // reassembly. All fragments are sampled so RNG consumption
+            // depends only on the datagram's size.
+            if src.loss_probability > 0.0 {
+                let mut lost = false;
+                for _ in 0..fragments_for(payload.len(), src.spec.mtu) {
+                    lost |= src.drop_rng.chance(src.loss_probability);
+                }
+                if lost {
+                    src.drops.inc();
+                    return;
+                }
             }
 
             // Propagate through the switch.

@@ -247,6 +247,124 @@ mod tests {
     }
 
     #[test]
+    fn wrong_program_and_version_get_distinct_accept_stats() {
+        let (sim, client, _server) = build(ServerConfig::netapp_f85(), NicSpec::gigabit());
+        sim.run_until(async move {
+            // Wrong program number: PROG_UNAVAIL.
+            client.to_server.send(encode_call(
+                101,
+                100_005, // mountd, not NFS
+                NFS_V3,
+                0,
+                &AuthUnix::root_on("test"),
+                &0u32,
+            ));
+            let reply = client.rx.recv().await.unwrap();
+            let (hdr, _dec) = decode_reply(&reply).unwrap();
+            assert_eq!(hdr.xid, 101);
+            assert_eq!(hdr.accept_stat, nfsperf_sunrpc::ACCEPT_PROG_UNAVAIL);
+
+            // Right program, unsupported version: PROG_MISMATCH.
+            client.to_server.send(encode_call(
+                102,
+                NFS_PROGRAM,
+                2, // NFSv2
+                0,
+                &AuthUnix::root_on("test"),
+                &0u32,
+            ));
+            let reply = client.rx.recv().await.unwrap();
+            let (hdr, _dec) = decode_reply(&reply).unwrap();
+            assert_eq!(hdr.xid, 102);
+            assert_eq!(hdr.accept_stat, nfsperf_sunrpc::ACCEPT_PROG_MISMATCH);
+        });
+    }
+
+    /// Drives `spawn_tcp` with a raw TCP client endpoint: connect, send
+    /// record-marked calls, read record-marked replies.
+    fn tcp_roundtrip(config: ServerConfig) {
+        use nfsperf_sunrpc::{encode_record, RecordReader};
+        use nfsperf_tcp::{TcpConfig, TcpEndpoint};
+
+        let sim = Sim::new();
+        let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+        let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
+        let to_server = Path {
+            local: cnic,
+            remote: snic,
+            latency: Path::default_latency(),
+        };
+        let server = NfsServer::spawn_tcp(&sim, srx, to_server.reversed(), config);
+        let client = TcpEndpoint::new(&sim, to_server, crx, TcpConfig::for_mtu(1500));
+        let root = server.fs.root_handle();
+
+        async fn recv_reply(records: &mut RecordReader, conn: &Rc<nfsperf_tcp::TcpConn>) -> Vec<u8> {
+            loop {
+                if let Some(r) = records.next_record() {
+                    return r;
+                }
+                records.push(&conn.recv_some().await.expect("stream open"));
+            }
+        }
+
+        let writes = sim.run_until(async move {
+            let conn = client.connect().await.expect("handshake");
+            let mut records = RecordReader::new();
+            let create = encode_call(
+                1,
+                NFS_PROGRAM,
+                NFS_V3,
+                NfsProc3::Create as u32,
+                &AuthUnix::root_on("test"),
+                &Create3Args {
+                    dir: root,
+                    name: "bench".into(),
+                    mode: CreateMode::Unchecked,
+                    attrs: Sattr3::default(),
+                },
+            );
+            conn.send(&encode_record(&create)).unwrap();
+            let reply = recv_reply(&mut records, &conn).await;
+            let (hdr, mut dec) = decode_reply(&reply).unwrap();
+            assert_eq!(hdr.xid, 1);
+            let created = Create3Res::decode(&mut dec).unwrap();
+            assert_eq!(created.status, NfsStat3::Ok);
+            let fh = created.file.unwrap();
+
+            for i in 0..4u32 {
+                let write = encode_call(
+                    2 + i,
+                    NFS_PROGRAM,
+                    NFS_V3,
+                    NfsProc3::Write as u32,
+                    &AuthUnix::root_on("test"),
+                    &Write3Args::new(fh, u64::from(i) * 8192, 8192, StableHow::Unstable),
+                );
+                conn.send(&encode_record(&write)).unwrap();
+                let reply = recv_reply(&mut records, &conn).await;
+                let (hdr, mut dec) = decode_reply(&reply).unwrap();
+                assert_eq!(hdr.xid, 2 + i);
+                let res = Write3Res::decode(&mut dec).unwrap();
+                assert_eq!(res.status, NfsStat3::Ok);
+                assert_eq!(res.count, 8192);
+            }
+            4
+        });
+        assert_eq!(server.stats().writes, writes);
+        assert_eq!(server.stats().write_bytes, writes * 8192);
+    }
+
+    #[test]
+    fn tcp_server_filer_serves_writes() {
+        tcp_roundtrip(ServerConfig::netapp_f85());
+    }
+
+    #[test]
+    fn tcp_server_knfsd_serves_writes() {
+        tcp_roundtrip(ServerConfig::linux_knfsd());
+    }
+
+    #[test]
     fn knfsd_inline_flush_when_dirty_cap_exceeded() {
         let mut config = ServerConfig::linux_knfsd();
         if let BackendConfig::CacheDisk {

@@ -12,8 +12,10 @@ use nfsperf_nfs3::{
 };
 use nfsperf_sim::{Counter, Gate, Receiver, Semaphore, Sim, SimDuration};
 use nfsperf_sunrpc::{
-    decode_call, encode_reply, encode_reply_status, ACCEPT_GARBAGE_ARGS, ACCEPT_PROC_UNAVAIL,
+    decode_call, encode_record, encode_reply, encode_reply_status, RecordReader,
+    ACCEPT_GARBAGE_ARGS, ACCEPT_PROC_UNAVAIL, ACCEPT_PROG_MISMATCH, ACCEPT_PROG_UNAVAIL,
 };
+use nfsperf_tcp::{TcpConfig, TcpConn, TcpEndpoint};
 use nfsperf_xdr::XdrDecode;
 
 use crate::disk::DiskModel;
@@ -199,6 +201,46 @@ impl NfsServer {
         reply_path: Path,
         config: ServerConfig,
     ) -> Rc<NfsServer> {
+        let server = NfsServer::build(sim, reply_path, config);
+        let dispatcher = Rc::clone(&server);
+        sim.spawn(async move {
+            while let Some(payload) = rx.recv().await {
+                let handler = Rc::clone(&dispatcher);
+                dispatcher.sim.spawn(async move {
+                    handler.handle(payload).await;
+                });
+            }
+        });
+        server
+    }
+
+    /// Boots a server that speaks RPC over TCP instead of UDP: accepts
+    /// connections on `rx`, reassembles record-marked calls from each
+    /// stream, and writes record-marked replies back onto the same
+    /// connection. Same signature and backends as [`NfsServer::spawn`].
+    pub fn spawn_tcp(
+        sim: &Sim,
+        rx: Receiver<DatagramPayload>,
+        reply_path: Path,
+        config: ServerConfig,
+    ) -> Rc<NfsServer> {
+        let server = NfsServer::build(sim, reply_path.clone(), config);
+        let mtu = reply_path.local.spec().mtu;
+        let endpoint = TcpEndpoint::new(sim, reply_path, rx, TcpConfig::for_mtu(mtu));
+        let acceptor = Rc::clone(&server);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            while let Some(conn) = endpoint.accept().await {
+                let srv = Rc::clone(&acceptor);
+                sim2.spawn(async move {
+                    srv.serve_conn(conn).await;
+                });
+            }
+        });
+        server
+    }
+
+    fn build(sim: &Sim, reply_path: Path, config: ServerConfig) -> Rc<NfsServer> {
         let (backend, stability) = match config.backend {
             BackendConfig::Filer {
                 nvram_capacity,
@@ -248,7 +290,7 @@ impl NfsServer {
             BackendConfig::Memory => (Backend::Memory, StableHow::Unstable),
         };
 
-        let server = Rc::new(NfsServer {
+        Rc::new(NfsServer {
             sim: sim.clone(),
             fs: Rc::new(FsState::new()),
             reply_path,
@@ -264,18 +306,29 @@ impl NfsServer {
             write_bytes: Counter::new(),
             commits: Counter::new(),
             name: config.name,
-        });
+        })
+    }
 
-        let dispatcher = Rc::clone(&server);
-        sim.spawn(async move {
-            while let Some(payload) = rx.recv().await {
-                let handler = Rc::clone(&dispatcher);
-                dispatcher.sim.spawn(async move {
-                    handler.handle(payload).await;
+    /// One TCP connection's service loop: reassemble call records, process
+    /// each concurrently, reply on the same connection.
+    async fn serve_conn(self: Rc<Self>, conn: Rc<TcpConn>) {
+        let mut records = RecordReader::new();
+        loop {
+            let bytes = match conn.recv_some().await {
+                Ok(b) => b,
+                Err(_) => return, // peer closed, reset, or went away
+            };
+            records.push(&bytes);
+            while let Some(call) = records.next_record() {
+                let srv = Rc::clone(&self);
+                let reply_conn = Rc::clone(&conn);
+                self.sim.spawn(async move {
+                    if let Some(reply) = srv.process(call).await {
+                        let _ = reply_conn.send(&encode_record(&reply));
+                    }
                 });
             }
-        });
-        server
+        }
     }
 
     fn data_time(&self, bytes: u64) -> SimDuration {
@@ -283,14 +336,25 @@ impl NfsServer {
     }
 
     async fn handle(&self, payload: DatagramPayload) {
+        if let Some(reply) = self.process(payload).await {
+            self.reply_path.send(reply);
+        }
+    }
+
+    /// Executes one RPC call message and returns the reply to send, or
+    /// `None` for junk that a real server would silently drop. Transport
+    /// independent: the UDP dispatcher sends the reply as a datagram, the
+    /// TCP service loop record-marks it onto the connection.
+    async fn process(&self, payload: DatagramPayload) -> Option<DatagramPayload> {
         let (hdr, mut args) = match decode_call(&payload) {
             Ok(x) => x,
-            Err(_) => return, // junk datagram: drop, like a real server
+            Err(_) => return None, // junk: drop, like a real server
         };
-        if hdr.prog != NFS_PROGRAM || hdr.vers != NFS_V3 {
-            self.reply_path
-                .send(encode_reply_status(hdr.xid, ACCEPT_PROC_UNAVAIL, None));
-            return;
+        if hdr.prog != NFS_PROGRAM {
+            return Some(encode_reply_status(hdr.xid, ACCEPT_PROG_UNAVAIL, None));
+        }
+        if hdr.vers != NFS_V3 {
+            return Some(encode_reply_status(hdr.xid, ACCEPT_PROG_MISMATCH, None));
         }
         self.ops.inc();
         let reply = match NfsProc3::from_u32(hdr.proc) {
@@ -329,7 +393,7 @@ impl NfsServer {
             },
             None => encode_reply_status(hdr.xid, ACCEPT_PROC_UNAVAIL, None),
         };
-        self.reply_path.send(reply);
+        Some(reply)
     }
 
     async fn handle_write(&self, xid: u32, w: Write3Args) -> DatagramPayload {

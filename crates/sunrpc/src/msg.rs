@@ -19,6 +19,10 @@ pub const AUTH_NONE: u32 = 0;
 pub const AUTH_UNIX: u32 = 1;
 /// Accept status: success.
 pub const ACCEPT_SUCCESS: u32 = 0;
+/// Accept status: program unavailable on this server.
+pub const ACCEPT_PROG_UNAVAIL: u32 = 1;
+/// Accept status: program version not supported.
+pub const ACCEPT_PROG_MISMATCH: u32 = 2;
 /// Accept status: procedure unavailable.
 pub const ACCEPT_PROC_UNAVAIL: u32 = 3;
 /// Accept status: garbage arguments.

@@ -39,6 +39,10 @@ pub struct XprtConfig {
     pub initial_timeout: SimDuration,
     /// Retransmissions before a call errors out.
     pub max_retries: u32,
+    /// Ceiling on the backed-off retransmit timeout. Linux 2.4 caps the
+    /// doubling at 60 s (`RPC_MAX_TIMEOUT`); without the cap a handful of
+    /// consecutive losses pushes the next probe out by many minutes.
+    pub max_timeout: SimDuration,
     /// Hold the global kernel lock across `sock_sendmsg` (2.4.4
     /// behaviour). The paper's patch sets this to `false`.
     pub bkl_around_sendmsg: bool,
@@ -50,6 +54,7 @@ impl Default for XprtConfig {
             slots: 16,
             initial_timeout: SimDuration::from_millis(700),
             max_retries: 5,
+            max_timeout: SimDuration::from_secs(60),
             bkl_around_sendmsg: true,
         }
     }
@@ -200,7 +205,7 @@ impl RpcXprt {
                     }
                     attempt += 1;
                     self.retransmits.inc();
-                    timeout = timeout * 2;
+                    timeout = (timeout * 2).min(self.config.max_timeout);
                     self.send_retransmit(&msg).await;
                 }
             }
@@ -457,6 +462,47 @@ mod tests {
         let res = sim.run_until(async move { x.call(7, &1u32).await });
         assert_eq!(res, Err(RpcError::TimedOut));
         assert_eq!(xprt.stats().retransmits, 2);
+    }
+
+    #[test]
+    fn backoff_is_capped_at_max_timeout() {
+        let sim = Sim::new();
+        let kernel = Kernel::new(&sim, KernelConfig::default());
+        let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+        let (snic, _srx_dropped) = Nic::new(&sim, "server", NicSpec::gigabit());
+        let to_server = Path {
+            local: cnic,
+            remote: snic,
+            latency: Path::default_latency(),
+        };
+        // Start at 30 s so the doubling crosses the 60 s ceiling on the
+        // first backoff: waits are 30 + 60 + 60 + 60 = 210 s. Uncapped
+        // doubling would wait 30 + 60 + 120 + 240 = 450 s.
+        let xprt = RpcXprt::new(
+            &kernel,
+            to_server,
+            crx,
+            100_003,
+            3,
+            XprtConfig {
+                max_retries: 3,
+                initial_timeout: SimDuration::from_secs(30),
+                ..XprtConfig::default()
+            },
+        );
+        let x = Rc::clone(&xprt);
+        let res = sim.run_until(async move { x.call(7, &1u32).await });
+        assert_eq!(res, Err(RpcError::TimedOut));
+        assert_eq!(xprt.stats().retransmits, 3);
+        let elapsed = sim.now() - nfsperf_sim::SimTime::ZERO;
+        assert!(
+            elapsed >= SimDuration::from_secs(210),
+            "gave up too early: {elapsed:?}"
+        );
+        assert!(
+            elapsed < SimDuration::from_secs(211),
+            "backoff not capped at 60 s: {elapsed:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Wire format of the simulated TCP segment.
+//!
+//! Each segment travels as one `nfsperf-net` datagram payload, so it is
+//! subject to the same serialization, propagation, loss and IP-fragmentation
+//! model as a UDP datagram of the same size. The header is a fixed 24 bytes,
+//! big-endian, chosen so that with the 20-byte IP and 8-byte UDP framing the
+//! link layer adds, an MSS of `mtu - 52` keeps every full segment inside a
+//! single IP fragment (1448 bytes at MTU 1500, 8948 at MTU 9000).
+
+/// Synchronize: connection setup. Consumes sequence number 0.
+pub const FLAG_SYN: u8 = 0x01;
+/// The `ack` field is valid.
+pub const FLAG_ACK: u8 = 0x02;
+/// Sender is done sending (best-effort half close).
+pub const FLAG_FIN: u8 = 0x04;
+/// Abortive close; the receiver drops all connection state.
+pub const FLAG_RST: u8 = 0x08;
+
+/// Bytes of simulated TCP header per segment.
+pub const HEADER_LEN: usize = 24;
+
+/// One simulated TCP segment.
+///
+/// Sequence numbers are 64-bit and never wrap: the SYN occupies sequence 0
+/// in each direction and application data starts at sequence 1. `ack` is the
+/// next sequence number the sender of the segment expects to receive
+/// (cumulative acknowledgment), valid when [`FLAG_ACK`] is set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    /// Connection this segment belongs to; chosen by the active opener.
+    pub conn_id: u32,
+    /// Sequence number of the first payload byte (or of the SYN/FIN).
+    pub seq: u64,
+    /// Cumulative acknowledgment: next expected sequence number.
+    pub ack: u64,
+    /// Bitwise OR of the `FLAG_*` constants.
+    pub flags: u8,
+    /// Application bytes carried, at most one MSS.
+    pub payload: Vec<u8>,
+}
+
+impl Segment {
+    /// Serializes the segment into one datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.conn_id.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(self.flags);
+        out.extend_from_slice(&[0u8; 3]);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses a datagram payload back into a segment.
+    ///
+    /// Returns `None` for payloads shorter than the fixed header (which a
+    /// conforming peer never produces).
+    pub fn decode(bytes: &[u8]) -> Option<Segment> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        let conn_id = u32::from_be_bytes(bytes[0..4].try_into().unwrap());
+        let seq = u64::from_be_bytes(bytes[4..12].try_into().unwrap());
+        let ack = u64::from_be_bytes(bytes[12..20].try_into().unwrap());
+        let flags = bytes[20];
+        Some(Segment {
+            conn_id,
+            seq,
+            ack,
+            flags,
+            payload: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let seg = Segment {
+            conn_id: 7,
+            seq: 0x1_0000_0001,
+            ack: 42,
+            flags: FLAG_ACK | FLAG_FIN,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let wire = seg.encode();
+        assert_eq!(wire.len(), HEADER_LEN + 5);
+        assert_eq!(Segment::decode(&wire).unwrap(), seg);
+    }
+
+    #[test]
+    fn short_payload_rejected() {
+        assert!(Segment::decode(&[0u8; HEADER_LEN - 1]).is_none());
+    }
+}

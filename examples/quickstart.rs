@@ -2,7 +2,7 @@
 //! sequential write, and inspect what happened at every layer.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart [-- --transport udp|tcp]
 //! ```
 
 use std::rc::Rc;
@@ -12,8 +12,16 @@ use nfsperf_kernel::{Kernel, KernelConfig};
 use nfsperf_net::{Nic, NicSpec, Path};
 use nfsperf_server::{NfsServer, ServerConfig};
 use nfsperf_sim::Sim;
+use nfsperf_sunrpc::Transport;
 
 fn main() {
+    // Mount over UDP (the 2.4 default) unless asked for TCP.
+    let mut argv = std::env::args().skip(1);
+    let transport = match argv.find(|a| a == "--transport").and_then(|_| argv.next()) {
+        Some(v) => Transport::parse(&v).expect("--transport udp|tcp"),
+        None => Transport::Udp,
+    };
+
     // One deterministic simulator holds the whole world.
     let sim = Sim::new();
 
@@ -28,7 +36,11 @@ fn main() {
     };
 
     // A prototype NetApp F85: FILE_SYNC writes into 64 MB of NVRAM.
-    let server = NfsServer::spawn(
+    let spawn = match transport {
+        Transport::Udp => NfsServer::spawn,
+        Transport::Tcp => NfsServer::spawn_tcp,
+    };
+    let server = spawn(
         &sim,
         server_rx,
         to_server.reversed(),
@@ -42,6 +54,7 @@ fn main() {
         client_rx,
         MountConfig {
             tuning: ClientTuning::full_patch(),
+            transport,
             ..MountConfig::default()
         },
     );
@@ -62,8 +75,11 @@ fn main() {
 
     let xprt = mount.xprt().stats();
     println!(
-        "\nRPC transport: {} calls, {} replies, {} retransmits",
-        xprt.calls, xprt.replies, xprt.retransmits
+        "\nRPC transport ({}): {} calls, {} replies, {} retransmits",
+        transport.label(),
+        xprt.calls,
+        xprt.replies,
+        xprt.retransmits
     );
 
     let srv = server.stats();

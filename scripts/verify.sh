@@ -28,6 +28,21 @@ echo "$out" | awk '
         if (!seen) { print "FAIL: no throughput line in quickstart output"; exit 1 }
     }'
 
+echo "==> quickstart smoke run over TCP"
+out="$(cargo run -q --release --offline --example quickstart -- --transport tcp)"
+echo "$out"
+echo "$out" | awk '
+    /write throughput/ {
+        seen = 1
+        if ($4 + 0 <= 0) { print "FAIL: zero write throughput over TCP"; exit 1 }
+    }
+    /RPC transport/ {
+        if ($3 != "(tcp):") { print "FAIL: quickstart did not mount over TCP"; exit 1 }
+    }
+    END {
+        if (!seen) { print "FAIL: no throughput line in TCP quickstart output"; exit 1 }
+    }'
+
 echo "==> no external dependencies"
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
     echo "FAIL: external dependency lines found above"

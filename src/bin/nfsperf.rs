@@ -5,6 +5,7 @@
 //! nfsperf figures [--quick] [--out DIR]
 //! nfsperf table1
 //! nfsperf concurrency
+//! nfsperf transport [--quick]
 //! nfsperf help
 //! ```
 //!
@@ -14,18 +15,21 @@
 use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
-use nfsperf_experiments::{figures, run_bonnie, Scenario, ServerKind};
+use nfsperf_experiments::{figures, run_bonnie, transport_sweep, Scenario, ServerKind, LOSS_RATES};
 use nfsperf_sim::SimDuration;
+use nfsperf_sunrpc::Transport;
 
 fn usage() -> &'static str {
     "nfsperf — Linux NFS Client Write Performance (Lever & Honeyman 2002), simulated
 
 USAGE:
     nfsperf run [--tuning T] [--server S] [--size-mb N] [--cpus N]
-                [--ram-mb N] [--slots N] [--jumbo] [--seed N] [--latencies FILE]
+                [--ram-mb N] [--slots N] [--jumbo] [--seed N]
+                [--transport X] [--loss P] [--latencies FILE]
     nfsperf figures [--quick] [--out DIR]
     nfsperf table1
     nfsperf concurrency
+    nfsperf transport [--quick]
     nfsperf help
 
 OPTIONS (run):
@@ -37,7 +41,13 @@ OPTIONS (run):
     --slots     RPC slot-table size                                [16]
     --jumbo     9000-byte MTU on both ends
     --seed      RNG seed                                           [0x1f5]
+    --transport udp | tcp                                          [udp]
+    --loss      per-fragment datagram loss probability             [0]
     --latencies write per-call latencies as CSV to FILE
+
+COMMANDS:
+    transport   UDP vs UDP+jumbo vs TCP matrix across loss rates
+                (8 MB per cell; --quick for 2 MB)
 "
 }
 
@@ -132,15 +142,27 @@ fn cmd_run(mut args: Args) -> Result<(), String> {
     if args.flag("--jumbo") {
         scenario = scenario.with_jumbo_frames();
     }
+    let transport = match args.value("--transport")? {
+        Some(v) => Transport::parse(&v).ok_or(format!("unknown transport {v}"))?,
+        None => Transport::Udp,
+    };
+    scenario = scenario.with_transport(transport);
+    if let Some(loss) = args.parsed::<f64>("--loss")? {
+        if !(0.0..1.0).contains(&loss) {
+            return Err(format!("--loss {loss} not in [0, 1)"));
+        }
+        scenario = scenario.with_loss(loss);
+    }
     let latency_file = args.value("--latencies")?;
     args.finish()?;
 
     let out = run_bonnie(&scenario, size_mb << 20);
     let r = &out.report;
     println!(
-        "run: tuning={} server={} size={}MB cpus={} ram={}MB slots={}",
+        "run: tuning={} server={} transport={} size={}MB cpus={} ram={}MB slots={}",
         tuning.label(),
         server.label(),
+        transport.label(),
         size_mb,
         scenario.ncpus,
         scenario.ram_bytes >> 20,
@@ -167,6 +189,15 @@ fn cmd_run(mut args: Args) -> Result<(), String> {
         out.lock_stats.acquisitions, out.lock_stats.total_wait
     );
     println!("  net tx           : {:>8.1} MB/s", out.net_tx_mbps);
+    if let Some(t) = out.tcp_stats {
+        println!(
+            "  tcp              : {} connects, {} retransmits ({} fast), {} RTOs",
+            t.connects, t.retransmits, t.fast_retransmits, t.rto_timeouts
+        );
+    }
+    if out.client_drops > 0 {
+        println!("  client drops     : {}", out.client_drops);
+    }
     println!("  profile top 3    :");
     for row in out.profile.iter().take(3) {
         println!("      {:22} {}", row.label, row.time);
@@ -251,6 +282,19 @@ fn cmd_concurrency(args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_transport(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    args.finish()?;
+    let size: u64 = if quick { 2 << 20 } else { 8 << 20 };
+    println!(
+        "transport x loss sweep: {} MB sequential write, full patch, filer server",
+        size >> 20
+    );
+    let sweep = transport_sweep(size, LOSS_RATES);
+    println!("{}", sweep.render());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -264,6 +308,7 @@ fn main() -> ExitCode {
         "figures" => cmd_figures(args),
         "table1" => cmd_table1(args),
         "concurrency" => cmd_concurrency(args),
+        "transport" => cmd_transport(args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -16,7 +16,10 @@ use nfsperf_nfs3::{
     Commit3Args, Fattr3, FileHandle, NfsStat3, StableHow, WccData, Write3Args, Write3Res, WriteVerf,
 };
 use nfsperf_sim::{Histogram, SimDuration, SimTime};
-use nfsperf_sunrpc::{decode_call, decode_reply, encode_call, encode_reply, AuthUnix};
+use nfsperf_sunrpc::{
+    decode_call, decode_reply, encode_call, encode_record, encode_record_frags, encode_reply,
+    AuthUnix, RecordReader,
+};
 use nfsperf_xdr::{Decoder, Encoder, XdrDecode, XdrEncode};
 
 // ---------------------------------------------------------------------
@@ -406,6 +409,94 @@ fn merge_yields_exact_union_when_contiguous() {
                 prop_assert_eq!(req.offset_in_page(), a_start);
                 prop_assert_eq!(req.len(), a_len);
             }
+            CaseOutcome::Pass
+        },
+    );
+}
+
+// ---------------------------------------------------------------------
+// RFC 1831 §10 record marking (the TCP transport's framing layer).
+// ---------------------------------------------------------------------
+
+#[test]
+fn record_round_trips_at_arbitrary_fragment_boundaries() {
+    check(
+        "record_round_trips_at_arbitrary_fragment_boundaries",
+        |g| {
+            (
+                g.bytes(0, 2048),
+                g.usize_in(1, 512),
+                // Sizes of the stream chunks the reader is fed, modelling
+                // arbitrary TCP segmentation of the byte stream.
+                g.vec(1, 64, |g| g.usize_in(1, 128)),
+            )
+        },
+        |(msg, max_frag, chunks)| {
+            prop_assume!(*max_frag >= 1);
+            prop_assume!(chunks.iter().all(|&c| c >= 1));
+            let wire = encode_record_frags(msg, *max_frag);
+            let mut rd = RecordReader::new();
+            let mut out = Vec::new();
+            let mut off = 0;
+            let mut chunk = chunks.iter().cycle();
+            while off < wire.len() {
+                let take = (*chunk.next().unwrap()).min(wire.len() - off);
+                rd.push(&wire[off..off + take]);
+                off += take;
+                while let Some(r) = rd.next_record() {
+                    out.push(r);
+                }
+            }
+            prop_assert_eq!(out.len(), 1);
+            prop_assert_eq!(&out[0], msg);
+            prop_assert_eq!(rd.buffered(), 0);
+            CaseOutcome::Pass
+        },
+    );
+}
+
+#[test]
+fn back_to_back_records_survive_mixed_fragmentation() {
+    check(
+        "back_to_back_records_survive_mixed_fragmentation",
+        |g| {
+            g.vec(1, 8, |g| {
+                let msg = g.bytes(0, 512);
+                let frag = g.usize_in(1, 96);
+                (msg, frag)
+            })
+        },
+        |records| {
+            prop_assume!(records.iter().all(|(_, f)| *f >= 1));
+            let mut wire = Vec::new();
+            for (msg, frag) in records {
+                wire.extend(encode_record_frags(msg, *frag));
+            }
+            let mut rd = RecordReader::new();
+            rd.push(&wire);
+            for (msg, _) in records {
+                prop_assert_eq!(&rd.next_record().expect("record"), msg);
+            }
+            prop_assert_eq!(rd.next_record(), None);
+            prop_assert_eq!(rd.buffered(), 0);
+            CaseOutcome::Pass
+        },
+    );
+}
+
+#[test]
+fn single_fragment_encoding_matches_the_general_encoder() {
+    check(
+        "single_fragment_encoding_matches_the_general_encoder",
+        |g| g.bytes(0, 1024),
+        |msg| {
+            // One maximal fragment: 4-byte header with the top bit set and
+            // the length in the low 31 bits, then the message verbatim.
+            let wire = encode_record(msg);
+            prop_assert_eq!(wire.len(), msg.len() + 4);
+            let header = u32::from_be_bytes(wire[0..4].try_into().unwrap());
+            prop_assert_eq!(header, 0x8000_0000 | msg.len() as u32);
+            prop_assert_eq!(&wire[4..], &msg[..]);
             CaseOutcome::Pass
         },
     );
