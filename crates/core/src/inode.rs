@@ -166,7 +166,7 @@ impl NfsInode {
             self.writeback.set(self.writeback.get() - 1);
             self.unstable.set(self.unstable.get() + 1);
             self.unstable_bytes
-                .set(self.unstable_bytes.get() + req.len());
+                .set(self.unstable_bytes.get() + req.unstable_len());
         }
         self.completion.wake_all();
     }
@@ -188,12 +188,30 @@ impl NfsInode {
             ReqState::Writeback => self.writeback.set(self.writeback.get() - 1),
             ReqState::Unstable => {
                 self.unstable.set(self.unstable.get() - 1);
+                // Subtract what was *recorded* unstable, not the current
+                // length — a writer may have merge-grown the request since
+                // its WRITE completed.
                 self.unstable_bytes
-                    .set(self.unstable_bytes.get() - req.len());
+                    .set(self.unstable_bytes.get() - req.unstable_len());
             }
             ReqState::Dirty => self.dirty.set(self.dirty.get() - 1),
         }
         self.index.borrow_mut().remove(req.page_index);
+        self.completion.wake_all();
+    }
+
+    /// Returns one UNSTABLE request to dirty so its (possibly re-grown)
+    /// data is sent again — COMMIT verifier mismatch, or new bytes landing
+    /// on a page whose WRITE already completed. The request keeps its
+    /// index slot, so concurrent writers keep coalescing into it instead
+    /// of colliding with a hand-rolled replacement.
+    pub fn redirty_unstable(&self, req: &Rc<NfsPageReq>) {
+        debug_assert_eq!(req.state(), ReqState::Unstable);
+        self.unstable.set(self.unstable.get() - 1);
+        self.unstable_bytes
+            .set(self.unstable_bytes.get() - req.unstable_len());
+        req.mark_dirty_again();
+        self.dirty.set(self.dirty.get() + 1);
         self.completion.wake_all();
     }
 

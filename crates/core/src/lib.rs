@@ -31,7 +31,7 @@
 //! let kernel = Kernel::new(&sim, KernelConfig::default());
 //! let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
 //! let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-//! let to_server = Path { local: cnic, remote: snic, latency: Path::default_latency() };
+//! let to_server = Path::new(cnic, snic, Path::default_latency());
 //! let _server = NfsServer::spawn(&sim, srx, to_server.reversed(), ServerConfig::netapp_f85());
 //! let mount = NfsMount::mount(&kernel, to_server, crx, MountConfig {
 //!     tuning: ClientTuning::full_patch(),
@@ -55,6 +55,6 @@ pub mod tuning;
 
 pub use index::{Lookup, RequestIndex};
 pub use inode::NfsInode;
-pub use mount::{MountConfig, MountStats, NfsFile, NfsMount};
+pub use mount::{MountConfig, MountStats, NfsFile, NfsMount, MAX_RPC_IO_BYTES};
 pub use request::{NfsPageReq, ReqState};
 pub use tuning::{ClientTuning, IndexKind, MAX_REQUEST_HARD, MAX_REQUEST_SOFT};

@@ -48,7 +48,10 @@ pub struct MountConfig {
     pub tuning: ClientTuning,
     /// RPC slot-table size.
     pub slots: usize,
-    /// `nfs_flushd` wakeup interval.
+    /// `nfs_flushd` wakeup interval. The default keeps the daemon's
+    /// idle duty cycle at the historical 11 ms: scans used to run every
+    /// 10 ms-park + 1 ms unconditional pacing tick, and the tick is now
+    /// paid only on passes that find nothing to do.
     pub flushd_interval: SimDuration,
     /// COMMIT once this many unstable bytes accumulate.
     pub commit_threshold: u64,
@@ -67,7 +70,7 @@ impl Default for MountConfig {
             wsize: 8192,
             tuning: ClientTuning::default(),
             slots: 16,
-            flushd_interval: SimDuration::from_millis(10),
+            flushd_interval: SimDuration::from_millis(11),
             commit_threshold: 1 << 20,
             soft_limit: MAX_REQUEST_SOFT,
             hard_limit: MAX_REQUEST_HARD,
@@ -233,11 +236,21 @@ impl NfsMount {
         }
     }
 
-    /// Sends one WRITE RPC for a batch and applies the outcome.
+    /// Sends WRITE RPCs for a batch and applies the outcome. A batch is
+    /// normally wsize-bounded and fits one RPC; anything whose byte sum
+    /// would overflow the u32 wire count is split, never truncated.
     async fn write_batch(self: &Rc<Self>, inode: &Rc<NfsInode>, batch: Vec<Rc<NfsPageReq>>) {
         debug_assert!(!batch.is_empty());
+        for chunk in split_rpc_batches(batch, MAX_RPC_IO_BYTES) {
+            self.write_rpc(inode, chunk).await;
+        }
+    }
+
+    /// Sends one WRITE RPC for a wire-legal chunk of requests.
+    async fn write_rpc(self: &Rc<Self>, inode: &Rc<NfsInode>, batch: Vec<Rc<NfsPageReq>>) {
         let offset = batch[0].file_offset();
         let count: u64 = batch.iter().map(|r| r.len()).sum();
+        debug_assert!(count <= MAX_RPC_IO_BYTES);
         self.write_rpcs.inc();
         let args = Write3Args::new(inode.fh, offset, count as u32, StableHow::Unstable);
         match self.xprt.call(NfsProc3::Write as u32, &args).await {
@@ -299,6 +312,17 @@ impl NfsMount {
         if inode.unstable_requests() == 0 || !inode.begin_commit() {
             return;
         }
+        self.commit_inode_begun(inode).await;
+    }
+
+    /// Body of a COMMIT whose in-flight slot (`begin_commit`) the caller
+    /// already claimed — `nfs_flushd` claims it before spawning so the
+    /// very next scan pass sees the commit as in flight.
+    async fn commit_inode_begun(self: &Rc<Self>, inode: &Rc<NfsInode>) {
+        if inode.unstable_requests() == 0 {
+            inode.end_commit();
+            return;
+        }
         let snapshot = inode.unstable_snapshot();
         self.commit_rpcs.inc();
         let args = Commit3Args {
@@ -321,17 +345,13 @@ impl NfsMount {
                                 self.note_request_gone();
                             } else {
                                 // Server rebooted: data may be lost, send
-                                // it again.
+                                // it again. The request goes back to the
+                                // dirty list in place (as a failed WRITE
+                                // does) — recreating it would collide with
+                                // writers coalescing into it mid-COMMIT
+                                // and corrupt the unstable accounting.
                                 self.verf_mismatches.inc();
-                                inode.finish_request(req);
-                                let fresh = NfsPageReq::new(
-                                    req.page_index,
-                                    req.offset_in_page(),
-                                    req.len(),
-                                    self.kernel.sim.now(),
-                                );
-                                inode.index.borrow_mut().insert(fresh);
-                                inode.note_created();
+                                inode.redirty_unstable(req);
                             }
                         }
                     } else {
@@ -367,24 +387,33 @@ impl NfsMount {
                 .mem
                 .wait_for_writeback_work(self.config.flushd_interval)
                 .await;
-            // Pace the daemon: `wait_for_writeback_work` returns
-            // immediately while memory sits over the background limit,
-            // and a pass may find nothing schedulable (everything already
-            // in flight) — without a tick the daemon would spin without
-            // advancing simulated time.
-            self.kernel.sim.sleep(SimDuration::from_millis(1)).await;
             let inodes: Vec<Rc<NfsInode>> = self.inodes.borrow().clone();
+            let mut progress = 0;
             for inode in &inodes {
-                self.schedule_dirty(inode, "nfs_flushd").await;
+                progress += self.schedule_dirty(inode, "nfs_flushd").await;
             }
             for inode in &inodes {
-                if self.wants_commit(inode) {
+                // Claim the commit slot *before* spawning: the spawned
+                // task cannot run until this pass yields, and without the
+                // claim the daemon would re-spawn the same COMMIT (and
+                // count it as progress) every pass until it did.
+                if self.wants_commit(inode) && inode.begin_commit() {
+                    progress += 1;
                     let mount = Rc::clone(&self);
                     let ino = Rc::clone(inode);
                     self.kernel.sim.spawn(async move {
-                        mount.commit_inode(&ino).await;
+                        mount.commit_inode_begun(&ino).await;
                     });
                 }
+            }
+            // Pace the daemon only when a pass found nothing to do:
+            // `wait_for_writeback_work` returns immediately while memory
+            // sits over the background limit, and with everything already
+            // in flight the daemon would spin without advancing simulated
+            // time. On a productive pass the tick would be pure added
+            // writeback latency, so it goes straight back to scanning.
+            if progress == 0 {
+                self.kernel.sim.sleep(SimDuration::from_millis(1)).await;
             }
         }
     }
@@ -430,7 +459,14 @@ impl NfsMount {
             self.charge_index_walk("nfs_update_request", lookup.scanned)
                 .await;
             if existing.merge(seg.offset_in_page, seg.len) {
-                return; // coalesced into the existing request
+                // Coalesced into the existing request. If its WRITE had
+                // already completed UNSTABLE, the grown range must reach
+                // the server again: back to the dirty list (keeping its
+                // index slot and accounting consistent).
+                if existing.state() == crate::request::ReqState::Unstable {
+                    inode.redirty_unstable(&existing);
+                }
+                return;
             }
             // Incompatible request on the same page: it must be flushed
             // before the current write proceeds (rare; never on the
@@ -492,7 +528,12 @@ impl NfsMount {
     /// daemon spends its time scanning rather than sending, which is why
     /// writeback falls further and further behind in the Figure 3
     /// configuration.
-    async fn schedule_dirty(self: &Rc<Self>, inode: &Rc<NfsInode>, label: &'static str) {
+    async fn schedule_dirty(
+        self: &Rc<Self>,
+        inode: &Rc<NfsInode>,
+        label: &'static str,
+    ) -> usize {
+        let mut issued = 0;
         while inode.dirty_requests() > 0 {
             let batch = {
                 let _bkl = self.kernel.bkl.lock(label).await;
@@ -513,10 +554,14 @@ impl NfsMount {
                 inode.take_first_dirty_batch(self.wsize_pages())
             };
             match batch {
-                Some(batch) => self.issue_batches(inode, vec![batch]),
+                Some(batch) => {
+                    issued += 1;
+                    self.issue_batches(inode, vec![batch]);
+                }
                 None => break,
             }
         }
+        issued
     }
 
     /// Schedules all dirty data and waits until every request (including
@@ -545,6 +590,32 @@ impl NfsMount {
 fn decode_as<T: XdrDecode>(bytes: &[u8]) -> Result<T, VfsError> {
     let mut dec = Decoder::new(bytes);
     T::decode(&mut dec).map_err(|_| VfsError::Server(NfsStat3::Io as u32))
+}
+
+/// Largest byte count a single READ or WRITE RPC may carry: NFSv3 puts
+/// counts in a `u32` on the wire (RFC 1813 §3.3.7), so larger transfers
+/// must be split across RPCs instead of silently truncated by a cast.
+pub const MAX_RPC_IO_BYTES: u64 = 1 << 30;
+
+/// Splits a batch into sub-batches whose byte sums each fit in one WRITE
+/// RPC of at most `cap` bytes. Batches are wsize-bounded in practice, so
+/// outside pathological configurations this yields exactly one chunk.
+fn split_rpc_batches(batch: Vec<Rc<NfsPageReq>>, cap: u64) -> Vec<Vec<Rc<NfsPageReq>>> {
+    let mut chunks = Vec::new();
+    let mut chunk: Vec<Rc<NfsPageReq>> = Vec::new();
+    let mut bytes = 0u64;
+    for req in batch {
+        if !chunk.is_empty() && bytes + req.len() > cap {
+            chunks.push(std::mem::take(&mut chunk));
+            bytes = 0;
+        }
+        bytes += req.len();
+        chunk.push(req);
+    }
+    if !chunk.is_empty() {
+        chunks.push(chunk);
+    }
+    chunks
 }
 
 /// An open NFS file.
@@ -585,29 +656,40 @@ impl NfsFile {
             .cpus
             .work("sys_read", kernel.costs.write_syscall_fixed)
             .await;
-        let args = Read3Args {
-            file: self.inode.fh,
-            offset,
-            count: len as u32,
-        };
-        let bytes = self
-            .mount
-            .xprt
-            .call(NfsProc3::Read as u32, &args)
-            .await
-            .map_err(|_| VfsError::Server(NfsStat3::Io as u32))?;
-        let res = decode_as::<Read3Res>(&bytes)?;
-        if res.status != NfsStat3::Ok {
-            return Err(VfsError::Server(res.status as u32));
+        // NFSv3 READ counts are u32 on the wire: a transfer past 4 GiB
+        // takes several RPCs (a cast would turn a 4 GiB read into a
+        // zero-byte request).
+        let mut total = 0u64;
+        while total < len {
+            let ask = (len - total).min(MAX_RPC_IO_BYTES) as u32;
+            let args = Read3Args {
+                file: self.inode.fh,
+                offset: offset + total,
+                count: ask,
+            };
+            let bytes = self
+                .mount
+                .xprt
+                .call(NfsProc3::Read as u32, &args)
+                .await
+                .map_err(|_| VfsError::Server(NfsStat3::Io as u32))?;
+            let res = decode_as::<Read3Res>(&bytes)?;
+            if res.status != NfsStat3::Ok {
+                return Err(VfsError::Server(res.status as u32));
+            }
+            // Copy the returned data into user space.
+            for _seg in nfsperf_kernel::split_into_pages(offset + total, u64::from(res.count)) {
+                kernel
+                    .cpus
+                    .work("generic_file_read", kernel.costs.page_copy)
+                    .await;
+            }
+            total += u64::from(res.count);
+            if res.eof || res.count < ask {
+                break;
+            }
         }
-        // Copy the returned data into user space.
-        for _seg in nfsperf_kernel::split_into_pages(offset, u64::from(res.count)) {
-            kernel
-                .cpus
-                .work("generic_file_read", kernel.costs.page_copy)
-                .await;
-        }
-        Ok(u64::from(res.count))
+        Ok(total)
     }
 
     /// Truncates the file to `size` via SETATTR (flushing dirty data
@@ -691,5 +773,56 @@ impl SimFile for NfsFile {
 
     fn bytes_written(&self) -> u64 {
         self.written.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::SimTime;
+
+    fn reqs(lens: &[u64]) -> Vec<Rc<NfsPageReq>> {
+        lens.iter()
+            .enumerate()
+            .map(|(i, &len)| NfsPageReq::new(i as u64, 0, len, SimTime::ZERO))
+            .collect()
+    }
+
+    #[test]
+    fn split_keeps_small_batches_whole() {
+        let chunks = split_rpc_batches(reqs(&[4096, 4096]), MAX_RPC_IO_BYTES);
+        assert_eq!(chunks.len(), 1, "a wsize batch is one RPC");
+        assert_eq!(chunks[0].len(), 2);
+    }
+
+    #[test]
+    fn split_respects_cap_boundary() {
+        // Three page-sized requests against a two-page cap: 2 + 1.
+        let chunks = split_rpc_batches(reqs(&[4096, 4096, 4096]), 8192);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(chunks[1].len(), 1);
+        // An exact fit does not spill.
+        let chunks = split_rpc_batches(reqs(&[4096, 4096]), 8192);
+        assert_eq!(chunks.len(), 1);
+    }
+
+    #[test]
+    fn split_never_drops_bytes_past_u32() {
+        // A batch summing past u32::MAX must split so each chunk's count
+        // survives the wire cast.
+        let lens = vec![4096u64; 6];
+        let chunks = split_rpc_batches(reqs(&lens), 3 * 4096);
+        let total: u64 = chunks.iter().flatten().map(|r| r.len()).sum();
+        assert_eq!(total, 6 * 4096);
+        for chunk in &chunks {
+            let count: u64 = chunk.iter().map(|r| r.len()).sum();
+            assert!(count <= 3 * 4096);
+        }
+    }
+
+    #[test]
+    fn rpc_cap_fits_the_wire() {
+        assert!(MAX_RPC_IO_BYTES <= u64::from(u32::MAX));
     }
 }

@@ -33,6 +33,10 @@ pub struct NfsPageReq {
     state: Cell<ReqState>,
     /// Verifier from the UNSTABLE write reply.
     verf: Cell<WriteVerf>,
+    /// Bytes covered when the UNSTABLE reply arrived — what the inode's
+    /// `unstable_bytes` accounting recorded, which can lag `len` if a
+    /// writer merge-grows the request while it awaits COMMIT.
+    unstable_len: Cell<u64>,
     /// When the request was created (for age-based flushing).
     pub created_at: SimTime,
 }
@@ -48,6 +52,7 @@ impl NfsPageReq {
             len: Cell::new(len),
             state: Cell::new(ReqState::Dirty),
             verf: Cell::new(WriteVerf::default()),
+            unstable_len: Cell::new(0),
             created_at: at,
         })
     }
@@ -67,7 +72,13 @@ impl NfsPageReq {
     pub fn mark_unstable(&self, verf: WriteVerf) {
         debug_assert_eq!(self.state.get(), ReqState::Writeback);
         self.verf.set(verf);
+        self.unstable_len.set(self.len.get());
         self.state.set(ReqState::Unstable);
+    }
+
+    /// Bytes the request covered at UNSTABLE completion (0 before one).
+    pub fn unstable_len(&self) -> u64 {
+        self.unstable_len.get()
     }
 
     /// Returns the request to dirty (verifier mismatch: must re-send).

@@ -31,11 +31,7 @@ fn world(tuning: ClientTuning, server_config: ServerConfig, server_nic: NicSpec)
     );
     let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
     let (snic, srx) = Nic::new(&sim, "server", server_nic);
-    let to_server = Path {
-        local: cnic,
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(cnic, snic, Path::default_latency());
     let server = NfsServer::spawn(&sim, srx, to_server.reversed(), server_config);
     let mount = NfsMount::mount(
         &kernel,
@@ -309,11 +305,7 @@ fn memory_pressure_throttles_writer_to_server_speed() {
     );
     let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
     let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-    let to_server = Path {
-        local: cnic,
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(cnic, snic, Path::default_latency());
     let _server = NfsServer::spawn(&sim, srx, to_server.reversed(), ServerConfig::netapp_f85());
     let mount = NfsMount::mount(
         &kernel,
@@ -441,6 +433,101 @@ fn truncate_shrinks_server_file() {
         sequential_write(&file, 64 * 1024).await;
         file.truncate(1000).await.unwrap();
         assert_eq!(server.fs.size_of(&file.inode().fh).unwrap(), 1000);
+        file.close().await.unwrap();
+    });
+}
+
+/// Regression for the COMMIT verifier-mismatch recovery path: a writer
+/// coalescing new bytes into a request *while its COMMIT is in flight*
+/// across a server reboot. The recovery used to rebuild the request by
+/// hand, and the merge-grown length corrupted the inode's unstable-byte
+/// accounting (an underflow panic in debug builds); re-dirtying the
+/// request in place keeps the books straight.
+#[test]
+fn mid_commit_redirty_survives_verifier_recovery() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::linux_knfsd(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    let sim = w.sim.clone();
+    w.sim.run_until(async move {
+        let file = Rc::new(mount.create("bench").await.unwrap());
+        file.write(0, 100).await.unwrap();
+        // Wait for the WRITE to complete UNSTABLE.
+        while file.inode().unstable_requests() == 0 {
+            file.inode().completion.wait().await;
+        }
+        // The server reboots: its verifier changes and cached data is
+        // dropped, so the coming COMMIT cannot confirm the request.
+        server.reboot();
+        // fsync concurrently: it issues the COMMIT we want to race.
+        let syncer = {
+            let file = Rc::clone(&file);
+            sim.spawn(async move { file.fsync().await })
+        };
+        while !file.inode().commit_in_flight() {
+            sim.sleep(SimDuration::from_micros(1)).await;
+        }
+        // Mid-COMMIT, the writer grows the same page's request 100→200.
+        file.write(0, 200).await.unwrap();
+        syncer.await.unwrap();
+        file.close().await.unwrap();
+        assert_eq!(server.fs.size_of(&file.inode().fh).unwrap(), 200);
+        assert_eq!(file.inode().total_requests(), 0, "everything drained");
+    });
+    assert_eq!(w.kernel.mem.dirty_pages(), 0, "accounting balanced");
+}
+
+/// The rare `nfs_updatepage` branch: a second write to a page whose
+/// existing request it cannot merge with (a hole between the ranges)
+/// must flush the old request synchronously before a new one is made.
+#[test]
+fn incompatible_same_page_write_flushes_the_old_request_first() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    w.sim.run_until(async move {
+        let file = mount.create("sparse").await.unwrap();
+        file.write(0, 100).await.unwrap();
+        assert_eq!(file.inode().total_requests(), 1);
+        // Same page, but [2000, 2100) cannot coalesce with [0, 100).
+        file.write(2000, 100).await.unwrap();
+        // The write returned only after the first request was flushed:
+        // its bytes are already at the server, and only the new request
+        // remains cached.
+        assert_eq!(server.stats().write_bytes, 100);
+        assert_eq!(file.inode().total_requests(), 1);
+        file.close().await.unwrap();
+        assert_eq!(server.fs.size_of(&file.inode().fh).unwrap(), 2100);
+    });
+    assert_eq!(w.server.stats().writes, 2, "two non-coalescable WRITEs");
+}
+
+/// NFSv3 carries READ/WRITE counts in a `u32`; a count at or above
+/// 4 GiB used to be truncated by the cast (a >=4 GiB read silently
+/// became a tiny one). Large counts are now chunked into capped RPCs.
+#[test]
+fn read_counts_past_u32_are_not_truncated() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    w.sim.run_until(async move {
+        let file = mount.create("big-read").await.unwrap();
+        sequential_write(&file, 64 * 1024).await;
+        // (1 << 32) + 8192 truncates to 8192 as a u32; the full count
+        // must survive and the read stop at EOF instead.
+        let n = file.read(0, (1u64 << 32) + 8192).await.unwrap();
+        assert_eq!(n, 64 * 1024, "EOF bounds the read, not u32 truncation");
         file.close().await.unwrap();
     });
 }

@@ -52,11 +52,7 @@ fn build_world(sim: &Sim, tuning: ClientTuning, servers: usize) -> (Kernel, Vec<
             if i == 0 { "server0" } else { "server1" },
             NicSpec::gigabit(),
         );
-        let to_server = Path {
-            local: cnic,
-            remote: snic,
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(cnic, snic, Path::default_latency());
         NfsServer::spawn(sim, srx, to_server.reversed(), ServerConfig::netapp_f85());
         mounts.push(NfsMount::mount(
             &kernel,

@@ -3,12 +3,14 @@
 //! [`figures`] has one runner per exhibit (Figures 1–7, Table 1, the
 //! §3.5 slow-server comparison); [`ablations`] sweeps the design
 //! parameters; [`transport`] compares UDP and TCP mounts under packet
-//! loss; [`scenario`] assembles worlds; [`render`] writes CSVs and
+//! loss; [`fleet`] scales client count against one shared server;
+//! [`scenario`] assembles worlds; [`render`] writes CSVs and
 //! ASCII charts.
 
 pub mod ablations;
 pub mod concurrency;
 pub mod figures;
+pub mod fleet;
 pub mod render;
 pub mod scenario;
 pub mod transport;
@@ -19,6 +21,10 @@ pub use ablations::{
     WorkloadComparison,
 };
 pub use concurrency::{concurrent_writers, future_work_comparison, ConcurrencyResult, Topology};
+pub use fleet::{
+    fleet_sweep, jain_index, run_fleet, FleetCell, FleetConfig, FleetRun, FleetSweep,
+    FLEET_CLIENT_COUNTS,
+};
 pub use figures::{
     figure1, figure2, figure3, figure4, figure5, figure6, figure7, paper_file_sizes,
     quick_file_sizes, slow_server_comparison, table1, HistogramPair, LatencyTrace,

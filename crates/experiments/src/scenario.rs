@@ -179,11 +179,7 @@ pub fn run_bonnie(scenario: &Scenario, file_size: u64) -> RunOutput {
     );
     let (cnic, crx) = Nic::with_loss(&sim, "client", scenario.client_nic, scenario.loss, scenario.seed);
     let (snic, srx) = Nic::new(&sim, "server", scenario.server_nic);
-    let to_server = Path {
-        local: Rc::clone(&cnic),
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&cnic), snic, Path::default_latency());
     let spawn_server = match scenario.mount.transport {
         Transport::Udp => NfsServer::spawn,
         Transport::Tcp => NfsServer::spawn_tcp,
@@ -244,11 +240,7 @@ where
     );
     let (cnic, crx) = Nic::with_loss(&sim, "client", scenario.client_nic, scenario.loss, scenario.seed);
     let (snic, srx) = Nic::new(&sim, "server", scenario.server_nic);
-    let to_server = Path {
-        local: Rc::clone(&cnic),
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&cnic), snic, Path::default_latency());
     let spawn_server = match scenario.mount.transport {
         Transport::Udp => NfsServer::spawn,
         Transport::Tcp => NfsServer::spawn_tcp,

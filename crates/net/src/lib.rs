@@ -10,9 +10,11 @@
 
 pub mod frame;
 pub mod nic;
+pub mod switch;
 
 pub use frame::{fragments_for, wire_bytes, ETHERNET_OVERHEAD, IP_HEADER, UDP_HEADER};
 pub use nic::{DatagramPayload, Nic, NicSpec};
+pub use switch::{LinkDir, SharedLink, Switch};
 
 use nfsperf_sim::SimDuration;
 
@@ -20,7 +22,10 @@ use nfsperf_sim::SimDuration;
 ///
 /// The switch adds a fixed store-and-forward latency; the paper's
 /// Summit7i is a few microseconds, and end-host interrupt coalescing adds
-/// tens more, so the default one-way latency is 30 µs.
+/// tens more, so the default one-way latency is 30 µs. A path may also
+/// route `via` a [`SharedLink`] — the server uplink a whole client fleet
+/// contends for — in which case every datagram additionally queues for
+/// that link's directional lane.
 #[derive(Clone)]
 pub struct Path {
     /// The local interface.
@@ -29,9 +34,27 @@ pub struct Path {
     pub remote: std::rc::Rc<Nic>,
     /// One-way propagation + switching latency.
     pub latency: SimDuration,
+    /// Shared bottleneck traversed between the endpoints, if any.
+    pub via: Option<(std::rc::Rc<SharedLink>, LinkDir)>,
 }
 
 impl Path {
+    /// A direct path between two NICs (no shared bottleneck).
+    pub fn new(local: std::rc::Rc<Nic>, remote: std::rc::Rc<Nic>, latency: SimDuration) -> Path {
+        Path {
+            local,
+            remote,
+            latency,
+            via: None,
+        }
+    }
+
+    /// Routes this path through a shared link in direction `dir`.
+    pub fn via_shared(mut self, link: std::rc::Rc<SharedLink>, dir: LinkDir) -> Path {
+        self.via = Some((link, dir));
+        self
+    }
+
     /// Default one-way latency through the test-bed switch.
     pub fn default_latency() -> SimDuration {
         SimDuration::from_micros(30)
@@ -39,15 +62,20 @@ impl Path {
 
     /// Sends one datagram along the path (asynchronously).
     pub fn send(&self, payload: DatagramPayload) {
-        self.local.transmit(&self.remote, self.latency, payload);
+        self.local
+            .transmit_routed(&self.remote, self.latency, self.via.clone(), payload);
     }
 
-    /// The reverse path.
+    /// The reverse path (through the same shared link, opposite lane).
     pub fn reversed(&self) -> Path {
         Path {
             local: std::rc::Rc::clone(&self.remote),
             remote: std::rc::Rc::clone(&self.local),
             latency: self.latency,
+            via: self
+                .via
+                .as_ref()
+                .map(|(link, dir)| (std::rc::Rc::clone(link), dir.flipped())),
         }
     }
 }
@@ -62,11 +90,7 @@ mod tests {
         let sim = Sim::new();
         let (a, arx) = Nic::new(&sim, "a", NicSpec::gigabit());
         let (b, brx) = Nic::new(&sim, "b", NicSpec::gigabit());
-        let ab = Path {
-            local: a,
-            remote: b,
-            latency: Path::default_latency(),
-        };
+        let ab = Path::new(a, b, Path::default_latency());
         let ba = ab.reversed();
         ab.send(vec![1; 10]);
         ba.send(vec![2; 20]);

@@ -150,6 +150,19 @@ impl Nic {
         latency: SimDuration,
         payload: DatagramPayload,
     ) {
+        self.transmit_routed(dst, latency, None, payload);
+    }
+
+    /// Like [`Nic::transmit`], additionally queueing for a shared
+    /// bottleneck link between serialization and propagation — the
+    /// switch-uplink hop every client in a fleet contends for.
+    pub fn transmit_routed(
+        self: &Rc<Self>,
+        dst: &Rc<Nic>,
+        latency: SimDuration,
+        via: Option<(Rc<crate::SharedLink>, crate::LinkDir)>,
+        payload: DatagramPayload,
+    ) {
         let src = Rc::clone(self);
         let dst = Rc::clone(dst);
         let sim = self.sim.clone();
@@ -182,6 +195,13 @@ impl Nic {
                     src.drops.inc();
                     return;
                 }
+            }
+
+            // Queue for the shared bottleneck (the switch's server
+            // uplink), if the path crosses one. Lost datagrams were
+            // dropped before reaching it, as on a real ingress port.
+            if let Some((link, dir)) = &via {
+                link.traverse(*dir, wire_len, payload.len()).await;
             }
 
             // Propagate through the switch.

@@ -1,0 +1,225 @@
+//! Shared-bottleneck switch model for multi-client topologies.
+//!
+//! The paper's test bed connects one client and one server through an
+//! Extreme Networks Summit7i, so a single [`crate::Path`] between two
+//! NICs is enough. Scaling the client side out changes that: every
+//! client's traffic funnels into the *same* server uplink, and the
+//! interesting question becomes which resource saturates first — the
+//! shared wire, the server NIC, or the server's service loop.
+//!
+//! [`SharedLink`] models that funnel: one full-duplex link with a
+//! serialization lane per direction. Any number of [`crate::Path`]s can
+//! route `via` the link; datagrams from different paths contend for the
+//! lane in arrival order, exactly as frames queue on a switch uplink
+//! port. [`Switch`] bundles the bookkeeping for the common topology —
+//! N client NICs, one server behind one uplink — so experiment code can
+//! attach clients one line at a time.
+
+use std::rc::Rc;
+
+use nfsperf_sim::{ByteMeter, Counter, Receiver, Semaphore, Sim};
+
+use crate::nic::{DatagramPayload, Nic, NicSpec};
+use crate::Path;
+
+/// Which way a datagram crosses a [`SharedLink`].
+///
+/// The two directions are independent lanes (full duplex): replies never
+/// contend with requests, matching switched Ethernet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDir {
+    /// From a client port toward the server uplink.
+    ToServer,
+    /// From the server uplink back toward a client port.
+    ToClients,
+}
+
+impl LinkDir {
+    /// The opposite direction (used by [`Path::reversed`]).
+    pub fn flipped(self) -> LinkDir {
+        match self {
+            LinkDir::ToServer => LinkDir::ToClients,
+            LinkDir::ToClients => LinkDir::ToServer,
+        }
+    }
+
+    fn lane(self) -> usize {
+        match self {
+            LinkDir::ToServer => 0,
+            LinkDir::ToClients => 1,
+        }
+    }
+}
+
+struct Lane {
+    wire: Rc<Semaphore>,
+    meter: ByteMeter,
+    datagrams: Counter,
+}
+
+impl Lane {
+    fn new() -> Lane {
+        Lane {
+            wire: Rc::new(Semaphore::new(1)),
+            meter: ByteMeter::new(),
+            datagrams: Counter::new(),
+        }
+    }
+}
+
+/// One full-duplex link shared by many paths — the server's uplink port.
+///
+/// Each traversal serializes the datagram's wire bytes at the link rate
+/// while holding the directional lane, so concurrent senders queue
+/// behind each other. The rate comes from a [`NicSpec`] so the link can
+/// mirror the server's own interface (e.g. the knfsd's bus-limited NIC),
+/// putting the fleet bottleneck where the paper's hardware had it.
+pub struct SharedLink {
+    sim: Sim,
+    /// Link name (for reports).
+    pub name: &'static str,
+    spec: NicSpec,
+    lanes: [Lane; 2],
+}
+
+impl SharedLink {
+    /// Creates a shared link running at `spec`'s rate in each direction.
+    pub fn new(sim: &Sim, name: &'static str, spec: NicSpec) -> Rc<SharedLink> {
+        Rc::new(SharedLink {
+            sim: sim.clone(),
+            name,
+            spec,
+            lanes: [Lane::new(), Lane::new()],
+        })
+    }
+
+    /// The link's rate/MTU description.
+    pub fn spec(&self) -> NicSpec {
+        self.spec
+    }
+
+    /// Carries one datagram of `wire_len` wire bytes (`payload_len`
+    /// payload) across the link, queueing behind other traffic in the
+    /// same direction.
+    pub async fn traverse(&self, dir: LinkDir, wire_len: usize, payload_len: usize) {
+        let lane = &self.lanes[dir.lane()];
+        {
+            let _wire = lane.wire.acquire().await;
+            self.sim.sleep(self.spec.transfer_time(wire_len)).await;
+        }
+        lane.meter.record(self.sim.now(), payload_len as u64);
+        lane.datagrams.inc();
+    }
+
+    /// Payload bytes carried in `dir` (excluding framing).
+    pub fn bytes(&self, dir: LinkDir) -> u64 {
+        self.lanes[dir.lane()].meter.bytes()
+    }
+
+    /// Datagrams carried in `dir`.
+    pub fn datagrams(&self, dir: LinkDir) -> u64 {
+        self.lanes[dir.lane()].datagrams.get()
+    }
+
+    /// Mean payload throughput in `dir` over the active period, MB/s.
+    pub fn throughput_mbps(&self, dir: LinkDir) -> f64 {
+        self.lanes[dir.lane()].meter.throughput_mbps()
+    }
+}
+
+/// The common fleet topology: N clients, one server, one shared uplink.
+///
+/// Each attached client gets a dedicated server-side *port* NIC (the
+/// switch port demultiplexes by source, as a UDP server demultiplexes by
+/// peer address) and a [`Path`] routed `via` the shared uplink, so all
+/// clients contend for the same wire into the server.
+pub struct Switch {
+    sim: Sim,
+    uplink: Rc<SharedLink>,
+    latency: nfsperf_sim::SimDuration,
+}
+
+impl Switch {
+    /// Creates a switch whose server uplink runs at `uplink_spec`'s rate.
+    pub fn new(sim: &Sim, uplink_spec: NicSpec, latency: nfsperf_sim::SimDuration) -> Switch {
+        Switch {
+            sim: sim.clone(),
+            uplink: SharedLink::new(sim, "uplink", uplink_spec),
+            latency,
+        }
+    }
+
+    /// Attaches a client NIC: creates the server-side port NIC and
+    /// returns the client→server path (routed via the uplink) plus the
+    /// port's receive queue for the server to drain.
+    pub fn attach(
+        &self,
+        client: &Rc<Nic>,
+        port_spec: NicSpec,
+    ) -> (Path, Receiver<DatagramPayload>) {
+        let (port, port_rx) = Nic::new(&self.sim, "server-port", port_spec);
+        let path = Path::new(Rc::clone(client), port, self.latency)
+            .via_shared(Rc::clone(&self.uplink), LinkDir::ToServer);
+        (path, port_rx)
+    }
+
+    /// The shared server uplink.
+    pub fn uplink(&self) -> &Rc<SharedLink> {
+        &self.uplink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfsperf_sim::SimDuration;
+
+    #[test]
+    fn shared_lane_serializes_concurrent_senders() {
+        let sim = Sim::new();
+        // Two gigabit clients into a 100 Mb/s uplink: the shared lane,
+        // not the client NICs, must pace delivery.
+        let sw = Switch::new(&sim, NicSpec::fast_ethernet(), SimDuration::ZERO);
+        let (a, _arx) = Nic::new(&sim, "a", NicSpec::gigabit());
+        let (b, _brx) = Nic::new(&sim, "b", NicSpec::gigabit());
+        let (pa, rxa) = sw.attach(&a, NicSpec::gigabit());
+        let (pb, rxb) = sw.attach(&b, NicSpec::gigabit());
+        pa.send(vec![1u8; 1400]);
+        pb.send(vec![2u8; 1400]);
+        sim.run_until(async move {
+            rxa.recv().await.unwrap();
+            rxb.recv().await.unwrap();
+        });
+        // Each 1466-wire-byte frame takes ~117 µs at 100 Mb/s on the
+        // shared lane; two frames must take at least two lane slots even
+        // though the senders serialized concurrently at 1 Gb/s.
+        assert!(sim.now().as_nanos() >= 2 * 117_000);
+        assert_eq!(sw.uplink().datagrams(LinkDir::ToServer), 2);
+        assert_eq!(sw.uplink().bytes(LinkDir::ToServer), 2 * 1400);
+    }
+
+    #[test]
+    fn reply_direction_does_not_contend_with_requests() {
+        let sim = Sim::new();
+        let sw = Switch::new(&sim, NicSpec::fast_ethernet(), SimDuration::ZERO);
+        let (a, arx) = Nic::new(&sim, "a", NicSpec::gigabit());
+        let (path, port_rx) = sw.attach(&a, NicSpec::gigabit());
+        let reply = path.reversed();
+        path.send(vec![1u8; 1400]);
+        reply.send(vec![2u8; 1400]);
+        sim.run_until(async move {
+            port_rx.recv().await.unwrap();
+            arx.recv().await.unwrap();
+        });
+        assert_eq!(sw.uplink().datagrams(LinkDir::ToServer), 1);
+        assert_eq!(sw.uplink().datagrams(LinkDir::ToClients), 1);
+        // Full duplex: both frames fit in barely more than one lane slot.
+        assert!(sim.now().as_nanos() < 2 * 117_000 + 60_000);
+    }
+
+    #[test]
+    fn flipped_swaps_directions() {
+        assert_eq!(LinkDir::ToServer.flipped(), LinkDir::ToClients);
+        assert_eq!(LinkDir::ToClients.flipped(), LinkDir::ToServer);
+    }
+}

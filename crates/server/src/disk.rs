@@ -64,6 +64,13 @@ impl DiskModel {
         self.meter.record(self.sim.now(), bytes);
     }
 
+    /// Waits for any in-progress disk operation to finish without
+    /// issuing one — the barrier a sync needs when another request is
+    /// already flushing the bytes it cares about.
+    pub async fn barrier(&self) {
+        let _arm = self.arm.acquire().await;
+    }
+
     fn transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration((bytes * 1_000_000_000).div_ceil(self.stream_bps))
     }

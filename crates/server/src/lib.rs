@@ -17,7 +17,7 @@ pub mod server;
 pub use disk::DiskModel;
 pub use fs::{FsState, ROOT_FILEID};
 pub use nvram::Nvram;
-pub use server::{BackendConfig, DiskKind, NfsServer, ServerConfig, ServerStats};
+pub use server::{BackendConfig, DiskKind, NfsServer, PerClientStats, ServerConfig, ServerStats};
 
 #[cfg(test)]
 mod tests {
@@ -67,11 +67,7 @@ mod tests {
         let sim = Sim::new();
         let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
         let (snic, srx) = Nic::new(&sim, "server", server_nic);
-        let to_server = Path {
-            local: cnic,
-            remote: snic,
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(cnic, snic, Path::default_latency());
         let server = NfsServer::spawn(&sim, srx, to_server.reversed(), config);
         let client = TestClient {
             sim: sim.clone(),
@@ -289,11 +285,7 @@ mod tests {
         let sim = Sim::new();
         let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
         let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: cnic,
-            remote: snic,
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(cnic, snic, Path::default_latency());
         let server = NfsServer::spawn_tcp(&sim, srx, to_server.reversed(), config);
         let client = TcpEndpoint::new(&sim, to_server, crx, TcpConfig::for_mtu(1500));
         let root = server.fs.root_handle();

@@ -1,7 +1,7 @@
 //! The generic simulated NFSv3 server: request dispatch plus pluggable
 //! write backends (filer NVRAM, knfsd page-cache-and-disk, plain memory).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use nfsperf_net::{DatagramPayload, Path};
@@ -171,12 +171,30 @@ pub struct ServerStats {
     pub inline_flushes: u64,
 }
 
+/// Per-client server-side counters, indexed by the client id returned
+/// from [`NfsServer::attach_udp`] / [`NfsServer::attach_tcp`].
+///
+/// A real server demultiplexes clients by peer address; here each
+/// attached transport *is* one client, which is what fleet fairness
+/// accounting needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PerClientStats {
+    /// Operations served for this client.
+    pub ops: u64,
+    /// WRITE operations served for this client.
+    pub writes: u64,
+    /// Payload bytes written by this client.
+    pub write_bytes: u64,
+    /// COMMIT operations served for this client.
+    pub commits: u64,
+}
+
 /// A running simulated NFS server.
 pub struct NfsServer {
     sim: Sim,
     /// The exported file system.
     pub fs: Rc<FsState>,
-    reply_path: Path,
+    per_client: RefCell<Vec<PerClientStats>>,
     svc: Rc<Semaphore>,
     fixed_op_cost: SimDuration,
     data_rate_bps: u64,
@@ -201,16 +219,8 @@ impl NfsServer {
         reply_path: Path,
         config: ServerConfig,
     ) -> Rc<NfsServer> {
-        let server = NfsServer::build(sim, reply_path, config);
-        let dispatcher = Rc::clone(&server);
-        sim.spawn(async move {
-            while let Some(payload) = rx.recv().await {
-                let handler = Rc::clone(&dispatcher);
-                dispatcher.sim.spawn(async move {
-                    handler.handle(payload).await;
-                });
-            }
-        });
+        let server = NfsServer::new(sim, config);
+        server.attach_udp(rx, reply_path);
         server
     }
 
@@ -224,23 +234,65 @@ impl NfsServer {
         reply_path: Path,
         config: ServerConfig,
     ) -> Rc<NfsServer> {
-        let server = NfsServer::build(sim, reply_path.clone(), config);
-        let mtu = reply_path.local.spec().mtu;
-        let endpoint = TcpEndpoint::new(sim, reply_path, rx, TcpConfig::for_mtu(mtu));
-        let acceptor = Rc::clone(&server);
-        let sim2 = sim.clone();
-        sim.spawn(async move {
-            while let Some(conn) = endpoint.accept().await {
-                let srv = Rc::clone(&acceptor);
-                sim2.spawn(async move {
-                    srv.serve_conn(conn).await;
-                });
-            }
-        });
+        let server = NfsServer::new(sim, config);
+        server.attach_tcp(rx, reply_path);
         server
     }
 
-    fn build(sim: &Sim, reply_path: Path, config: ServerConfig) -> Rc<NfsServer> {
+    /// Attaches one UDP client: spawns a dispatcher draining `rx` and
+    /// replying along `reply_path`. Returns the client's id for
+    /// [`NfsServer::per_client_stats`]. Any number of clients may attach;
+    /// their requests mix in the shared service queue.
+    pub fn attach_udp(self: &Rc<Self>, rx: Receiver<DatagramPayload>, reply_path: Path) -> usize {
+        let client = self.register_client();
+        let dispatcher = Rc::clone(self);
+        self.sim.spawn(async move {
+            while let Some(payload) = rx.recv().await {
+                let handler = Rc::clone(&dispatcher);
+                let reply_path = reply_path.clone();
+                handler.sim.clone().spawn(async move {
+                    if let Some(reply) = handler.process(client, payload).await {
+                        reply_path.send(reply);
+                    }
+                });
+            }
+        });
+        client
+    }
+
+    /// Attaches one TCP client: accepts connections on `rx` and serves
+    /// record-marked calls from each. Returns the client's id, as
+    /// [`NfsServer::attach_udp`] does.
+    pub fn attach_tcp(self: &Rc<Self>, rx: Receiver<DatagramPayload>, reply_path: Path) -> usize {
+        let client = self.register_client();
+        let mtu = reply_path.local.spec().mtu;
+        let endpoint = TcpEndpoint::new(&self.sim, reply_path, rx, TcpConfig::for_mtu(mtu));
+        let acceptor = Rc::clone(self);
+        let sim2 = self.sim.clone();
+        self.sim.spawn(async move {
+            while let Some(conn) = endpoint.accept().await {
+                let srv = Rc::clone(&acceptor);
+                sim2.spawn(async move {
+                    srv.serve_conn(client, conn).await;
+                });
+            }
+        });
+        client
+    }
+
+    fn register_client(&self) -> usize {
+        let mut per_client = self.per_client.borrow_mut();
+        per_client.push(PerClientStats::default());
+        per_client.len() - 1
+    }
+
+    fn client_stat(&self, client: usize, update: impl FnOnce(&mut PerClientStats)) {
+        update(&mut self.per_client.borrow_mut()[client]);
+    }
+
+    /// Boots the server state and backend daemons without any transport;
+    /// pair with [`NfsServer::attach_udp`] / [`NfsServer::attach_tcp`].
+    pub fn new(sim: &Sim, config: ServerConfig) -> Rc<NfsServer> {
         let (backend, stability) = match config.backend {
             BackendConfig::Filer {
                 nvram_capacity,
@@ -293,7 +345,7 @@ impl NfsServer {
         Rc::new(NfsServer {
             sim: sim.clone(),
             fs: Rc::new(FsState::new()),
-            reply_path,
+            per_client: RefCell::new(Vec::new()),
             svc: Rc::new(Semaphore::new(config.concurrency)),
             fixed_op_cost: config.fixed_op_cost,
             data_rate_bps: config.data_rate_bps,
@@ -311,7 +363,7 @@ impl NfsServer {
 
     /// One TCP connection's service loop: reassemble call records, process
     /// each concurrently, reply on the same connection.
-    async fn serve_conn(self: Rc<Self>, conn: Rc<TcpConn>) {
+    async fn serve_conn(self: Rc<Self>, client: usize, conn: Rc<TcpConn>) {
         let mut records = RecordReader::new();
         loop {
             let bytes = match conn.recv_some().await {
@@ -323,7 +375,7 @@ impl NfsServer {
                 let srv = Rc::clone(&self);
                 let reply_conn = Rc::clone(&conn);
                 self.sim.spawn(async move {
-                    if let Some(reply) = srv.process(call).await {
+                    if let Some(reply) = srv.process(client, call).await {
                         let _ = reply_conn.send(&encode_record(&reply));
                     }
                 });
@@ -335,17 +387,11 @@ impl NfsServer {
         SimDuration((bytes * 1_000_000_000).div_ceil(self.data_rate_bps))
     }
 
-    async fn handle(&self, payload: DatagramPayload) {
-        if let Some(reply) = self.process(payload).await {
-            self.reply_path.send(reply);
-        }
-    }
-
     /// Executes one RPC call message and returns the reply to send, or
     /// `None` for junk that a real server would silently drop. Transport
     /// independent: the UDP dispatcher sends the reply as a datagram, the
     /// TCP service loop record-marks it onto the connection.
-    async fn process(&self, payload: DatagramPayload) -> Option<DatagramPayload> {
+    async fn process(&self, client: usize, payload: DatagramPayload) -> Option<DatagramPayload> {
         let (hdr, mut args) = match decode_call(&payload) {
             Ok(x) => x,
             Err(_) => return None, // junk: drop, like a real server
@@ -357,6 +403,7 @@ impl NfsServer {
             return Some(encode_reply_status(hdr.xid, ACCEPT_PROG_MISMATCH, None));
         }
         self.ops.inc();
+        self.client_stat(client, |c| c.ops += 1);
         let reply = match NfsProc3::from_u32(hdr.proc) {
             Some(NfsProc3::Null) => {
                 let _svc = self.svc.acquire().await;
@@ -364,11 +411,11 @@ impl NfsServer {
                 encode_reply(hdr.xid, &0u32)
             }
             Some(NfsProc3::Write) => match Write3Args::decode(&mut args) {
-                Ok(w) => self.handle_write(hdr.xid, w).await,
+                Ok(w) => self.handle_write(client, hdr.xid, w).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Commit) => match Commit3Args::decode(&mut args) {
-                Ok(c) => self.handle_commit(hdr.xid, c).await,
+                Ok(c) => self.handle_commit(client, hdr.xid, c).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Create) => match Create3Args::decode(&mut args) {
@@ -396,7 +443,7 @@ impl NfsServer {
         Some(reply)
     }
 
-    async fn handle_write(&self, xid: u32, w: Write3Args) -> DatagramPayload {
+    async fn handle_write(&self, client: usize, xid: u32, w: Write3Args) -> DatagramPayload {
         // Checkpoint pause happens before service (the filer stops
         // answering during a consistency point).
         if let Backend::Filer { checkpoint, .. } = &self.backend {
@@ -449,6 +496,10 @@ impl NfsServer {
             Ok(after) => {
                 self.writes.inc();
                 self.write_bytes.add(u64::from(w.count));
+                self.client_stat(client, |c| {
+                    c.writes += 1;
+                    c.write_bytes += u64::from(w.count);
+                });
                 // Stability granted: at least what was asked for.
                 let granted = match (self.stability, w.stable) {
                     (StableHow::Unstable, StableHow::Unstable) => StableHow::Unstable,
@@ -491,13 +542,14 @@ impl NfsServer {
         }
     }
 
-    async fn handle_commit(&self, xid: u32, c: Commit3Args) -> DatagramPayload {
+    async fn handle_commit(&self, client: usize, xid: u32, c: Commit3Args) -> DatagramPayload {
         if let Backend::Filer { checkpoint, .. } = &self.backend {
             checkpoint.pass().await;
         }
         let _svc = self.svc.acquire().await;
         self.sim.sleep(self.fixed_op_cost).await;
         self.commits.inc();
+        self.client_stat(client, |c| c.commits += 1);
         match self.backend {
             // Filer writes were FILE_SYNC; COMMIT is a cheap no-op.
             Backend::Filer { .. } | Backend::Memory => {}
@@ -506,10 +558,19 @@ impl NfsServer {
                 ref disk,
                 ..
             } => {
-                let d = dirty.get();
+                // Claim the dirty pool before touching the disk:
+                // concurrent COMMITs from a client fleet must each flush
+                // only what the previous one left, not re-stream the
+                // same bytes after queueing on the arm (which turns N
+                // commits into O(N^2) disk work). A COMMIT that finds
+                // the pool already claimed still waits out the in-flight
+                // flush before replying — its caller's data may be on
+                // the platter only once that flush completes.
+                let d = dirty.replace(0);
                 if d > 0 {
                     disk.write_stream(d).await;
-                    dirty.set(0);
+                } else {
+                    disk.barrier().await;
                 }
             }
         }
@@ -665,6 +726,12 @@ impl NfsServer {
                 _ => 0,
             },
         }
+    }
+
+    /// Snapshot of per-client statistics, indexed by client id in
+    /// attach order.
+    pub fn per_client_stats(&self) -> Vec<PerClientStats> {
+        self.per_client.borrow().clone()
     }
 
     /// NVRAM fill level, if this server has one.

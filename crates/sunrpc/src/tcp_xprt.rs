@@ -436,11 +436,7 @@ mod tests {
         let kernel = Kernel::new(sim, KernelConfig::default());
         let (cnic, crx) = Nic::new(sim, "client", NicSpec::gigabit());
         let (snic, srx) = Nic::new(sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: Rc::clone(&cnic),
-            remote: Rc::clone(&snic),
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(Rc::clone(&cnic), Rc::clone(&snic), Path::default_latency());
         spawn_stream_echo_server(sim, srx, to_server.reversed(), server_delay);
         let xprt = TcpRpcXprt::new(&kernel, to_server, crx, 100_003, 3, config);
         (kernel, xprt)
@@ -503,11 +499,7 @@ mod tests {
         let kernel = Kernel::new(&sim, KernelConfig::default());
         let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
         let (snic, _srx_dropped) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: cnic,
-            remote: snic,
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(cnic, snic, Path::default_latency());
         let xprt = TcpRpcXprt::new(&kernel, to_server, crx, 100_003, 3, XprtConfig::default());
         let x = Rc::clone(&xprt);
         let res = sim.run_until(async move { x.call(7, &1u32).await });

@@ -333,11 +333,7 @@ mod tests {
         let kernel = Kernel::new(sim, KernelConfig::default());
         let (cnic, crx) = Nic::new(sim, "client", NicSpec::gigabit());
         let (snic, srx) = Nic::new(sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: Rc::clone(&cnic),
-            remote: Rc::clone(&snic),
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(Rc::clone(&cnic), Rc::clone(&snic), Path::default_latency());
         let to_client = to_server.reversed();
         spawn_echo_server(sim, srx, to_client, server_delay);
         let xprt = RpcXprt::new(&kernel, to_server, crx, 100_003, 3, config);
@@ -401,11 +397,7 @@ mod tests {
         // use 60% loss and enough retries that the call succeeds.
         let (cnic, crx) = Nic::with_loss(&sim, "client", NicSpec::gigabit(), 0.6, 42);
         let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: Rc::clone(&cnic),
-            remote: Rc::clone(&snic),
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(Rc::clone(&cnic), Rc::clone(&snic), Path::default_latency());
         spawn_echo_server(
             &sim,
             srx,
@@ -441,11 +433,7 @@ mod tests {
         let kernel = Kernel::new(&sim, KernelConfig::default());
         let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
         let (snic, _srx_dropped) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: cnic,
-            remote: snic,
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(cnic, snic, Path::default_latency());
         let xprt = RpcXprt::new(
             &kernel,
             to_server,
@@ -470,11 +458,7 @@ mod tests {
         let kernel = Kernel::new(&sim, KernelConfig::default());
         let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
         let (snic, _srx_dropped) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let to_server = Path {
-            local: cnic,
-            remote: snic,
-            latency: Path::default_latency(),
-        };
+        let to_server = Path::new(cnic, snic, Path::default_latency());
         // Start at 30 s so the doubling crosses the 60 s ceiling on the
         // first backoff: waits are 30 + 60 + 60 + 60 = 210 s. Uncapped
         // doubling would wait 30 + 60 + 120 + 240 = 450 s.

@@ -42,11 +42,7 @@ mod tests {
         let (client_nic, client_rx) =
             Nic::with_loss(&sim, "client", NicSpec::gigabit(), loss, 42);
         let (server_nic, server_rx) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let c2s = Path {
-            local: client_nic,
-            remote: server_nic,
-            latency: Path::default_latency(),
-        };
+        let c2s = Path::new(client_nic, server_nic, Path::default_latency());
         let s2c = c2s.reversed();
         let client = TcpEndpoint::new(&sim, c2s, client_rx, TcpConfig::for_mtu(1500));
         let server = TcpEndpoint::new(&sim, s2c, server_rx, TcpConfig::for_mtu(1500));
@@ -177,11 +173,7 @@ mod tests {
         let (client_nic, client_rx) = Nic::new(&sim, "client", NicSpec::gigabit());
         // The server NIC exists but nothing reads or answers it.
         let (server_nic, _server_rx) = Nic::new(&sim, "server", NicSpec::gigabit());
-        let path = Path {
-            local: client_nic,
-            remote: server_nic,
-            latency: Path::default_latency(),
-        };
+        let path = Path::new(client_nic, server_nic, Path::default_latency());
         let client = TcpEndpoint::new(&sim, path, client_rx, TcpConfig::for_mtu(1500));
         let err = sim.run_until(async move { client.connect().await.err().unwrap() });
         assert_eq!(err, TcpError::ConnectTimedOut);

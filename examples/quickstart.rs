@@ -29,11 +29,7 @@ fn main() {
     let kernel = Kernel::new(&sim, KernelConfig::default());
     let (client_nic, client_rx) = Nic::new(&sim, "client", NicSpec::gigabit());
     let (server_nic, server_rx) = Nic::new(&sim, "server", NicSpec::gigabit());
-    let to_server = Path {
-        local: Rc::clone(&client_nic),
-        remote: server_nic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&client_nic), server_nic, Path::default_latency());
 
     // A prototype NetApp F85: FILE_SYNC writes into 64 MB of NVRAM.
     let spawn = match transport {

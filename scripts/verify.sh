@@ -43,6 +43,19 @@ echo "$out" | awk '
         if (!seen) { print "FAIL: no throughput line in TCP quickstart output"; exit 1 }
     }'
 
+echo "==> fleet smoke run (small N)"
+out="$(cargo run -q --release --offline --bin nfsperf -- fleet --quick --out results/fleet-quick.csv)"
+echo "$out"
+# Every data row ends in a Jain index; fairness must hold even at small N.
+awk -F, 'NR > 1 {
+        rows++
+        if ($4 + 0 <= 0) { print "FAIL: zero aggregate throughput: " $0; exit 1 }
+        if ($7 + 0 < 0.9) { print "FAIL: unfair fleet (jain < 0.9): " $0; exit 1 }
+    }
+    END {
+        if (rows == 0) { print "FAIL: empty fleet-quick.csv"; exit 1 }
+    }' results/fleet-quick.csv
+
 echo "==> no external dependencies"
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
     echo "FAIL: external dependency lines found above"

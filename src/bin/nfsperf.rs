@@ -6,6 +6,7 @@
 //! nfsperf table1
 //! nfsperf concurrency
 //! nfsperf transport [--quick]
+//! nfsperf fleet [--quick] [--out FILE]
 //! nfsperf help
 //! ```
 //!
@@ -15,7 +16,10 @@
 use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
-use nfsperf_experiments::{figures, run_bonnie, transport_sweep, Scenario, ServerKind, LOSS_RATES};
+use nfsperf_experiments::{
+    figures, fleet_sweep, run_bonnie, transport_sweep, Scenario, ServerKind,
+    FLEET_CLIENT_COUNTS, LOSS_RATES,
+};
 use nfsperf_sim::SimDuration;
 use nfsperf_sunrpc::Transport;
 
@@ -30,6 +34,7 @@ USAGE:
     nfsperf table1
     nfsperf concurrency
     nfsperf transport [--quick]
+    nfsperf fleet [--quick] [--out FILE]
     nfsperf help
 
 OPTIONS (run):
@@ -48,6 +53,10 @@ OPTIONS (run):
 COMMANDS:
     transport   UDP vs UDP+jumbo vs TCP matrix across loss rates
                 (8 MB per cell; --quick for 2 MB)
+    fleet       client scaling sweep, 1-32 clients x {filer, knfsd} x
+                {udp, tcp} through one shared uplink (4 MB per client;
+                --quick for 1-4 clients at 1 MB); writes CSV to --out
+                [results/fleet.csv]
 "
 }
 
@@ -295,6 +304,32 @@ fn cmd_transport(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fleet(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "results/fleet.csv".into());
+    args.finish()?;
+    let counts: &[usize] = if quick { &[1, 2, 4] } else { FLEET_CLIENT_COUNTS };
+    let bytes_per_client: u64 = if quick { 1 << 20 } else { 4 << 20 };
+    println!(
+        "fleet scaling sweep: {} MB per client, shared uplink at the server NIC rate",
+        bytes_per_client >> 20
+    );
+    let sweep = fleet_sweep(
+        counts,
+        &[ServerKind::Filer, ServerKind::Knfsd],
+        &[Transport::Udp, Transport::Tcp],
+        bytes_per_client,
+    );
+    println!("{}", sweep.render());
+    sweep
+        .write_csv(std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -309,6 +344,7 @@ fn main() -> ExitCode {
         "table1" => cmd_table1(args),
         "concurrency" => cmd_concurrency(args),
         "transport" => cmd_transport(args),
+        "fleet" => cmd_fleet(args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -26,11 +26,7 @@ fn world(
     let kernel = Kernel::new(&sim, KernelConfig::default());
     let (cnic, crx) = Nic::with_loss(&sim, "client", NicSpec::gigabit(), client_loss, 77);
     let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-    let to_server = Path {
-        local: Rc::clone(&cnic),
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&cnic), snic, Path::default_latency());
     let server = NfsServer::spawn(&sim, srx, to_server.reversed(), server_config);
     let mount = NfsMount::mount(
         &kernel,
@@ -115,11 +111,7 @@ fn duplicate_replies_are_orphaned() {
     let kernel = Kernel::new(&sim, KernelConfig::default());
     let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
     let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-    let to_server = Path {
-        local: Rc::clone(&cnic),
-        remote: Rc::clone(&snic),
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&cnic), Rc::clone(&snic), Path::default_latency());
     let to_client = to_server.reversed();
     // A server that answers every call twice.
     {
@@ -226,11 +218,7 @@ fn jumbo_frames_one_fragment_per_write() {
     let kernel = Kernel::new(&sim, KernelConfig::default());
     let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit_jumbo());
     let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit_jumbo());
-    let to_server = Path {
-        local: Rc::clone(&cnic),
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&cnic), snic, Path::default_latency());
     let _server = NfsServer::spawn(&sim, srx, to_server.reversed(), ServerConfig::netapp_f85());
     let mount = NfsMount::mount(
         &kernel,
@@ -264,11 +252,7 @@ fn enospc_reported_at_close_without_leaks() {
     let kernel = Kernel::new(&sim, KernelConfig::default());
     let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
     let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
-    let to_server = Path {
-        local: Rc::clone(&cnic),
-        remote: snic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&cnic), snic, Path::default_latency());
     let config = ServerConfig {
         write_error_after: Some(256 << 10),
         ..ServerConfig::netapp_f85()

@@ -19,11 +19,7 @@ fn quickstart_world_completes_with_nonzero_throughput() {
     let kernel = Kernel::new(&sim, KernelConfig::default());
     let (client_nic, client_rx) = Nic::new(&sim, "client", NicSpec::gigabit());
     let (server_nic, server_rx) = Nic::new(&sim, "server", NicSpec::gigabit());
-    let to_server = Path {
-        local: Rc::clone(&client_nic),
-        remote: server_nic,
-        latency: Path::default_latency(),
-    };
+    let to_server = Path::new(Rc::clone(&client_nic), server_nic, Path::default_latency());
 
     let server = NfsServer::spawn(
         &sim,
