@@ -2,38 +2,12 @@
 
 use nfsperf_sim::SimDuration;
 
-/// Mean of a latency series ([`SimDuration::ZERO`] when empty), rounded
-/// to the nearest nanosecond. Plain `total / len` floors toward zero,
-/// which biased every decile mean (and thus the Figure 3 growth
-/// detection) low by up to 1 ns per sample.
-pub fn mean(samples: &[SimDuration]) -> SimDuration {
-    if samples.is_empty() {
-        return SimDuration::ZERO;
-    }
-    let total: u64 = samples.iter().map(|d| d.as_nanos()).sum();
-    let len = samples.len() as u64;
-    SimDuration((total + len / 2) / len)
-}
-
-/// Nearest-rank percentile of a latency series, `p` in `[0, 100]`
-/// ([`SimDuration::ZERO`] when empty). `percentile(s, 50.0)` is the
-/// median; `percentile(s, 99.0)` the p99 the bench harness reports.
-///
-/// # Panics
-///
-/// Panics if `p` is outside `[0, 100]`.
-pub fn percentile(samples: &[SimDuration], p: f64) -> SimDuration {
-    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
-    if samples.is_empty() {
-        return SimDuration::ZERO;
-    }
-    let mut sorted: Vec<SimDuration> = samples.to_vec();
-    sorted.sort_unstable();
-    let n = sorted.len();
-    // Nearest-rank: smallest value with at least p% of samples <= it.
-    let rank = ((p / 100.0) * n as f64).ceil() as usize;
-    sorted[rank.clamp(1, n) - 1]
-}
+// `mean` (round-to-nearest, not floor — floor biased every decile mean
+// and thus the Figure 3 growth detection low by up to 1 ns per sample)
+// and nearest-rank `percentile` live in `nfsperf_sim::metrics` so that
+// crates below the benchmark layer (the server's request scheduler
+// reports per-client p50/p99/p999 latencies) can use them too.
+pub use nfsperf_sim::{mean, percentile};
 
 /// Mean excluding samples above `threshold` — how the paper computes
 /// "139.6 microseconds per call (excluding the 37 calls exceeding 1

@@ -18,7 +18,7 @@ use std::rc::Rc;
 use nfsperf_client::{ClientTuning, MountConfig, NfsMount};
 use nfsperf_kernel::{CostTable, Kernel, KernelConfig, SimFile};
 use nfsperf_net::{LinkDir, Nic, NicSpec, Path, Switch};
-use nfsperf_server::{NfsServer, PerClientStats, ServerStats};
+use nfsperf_server::{NfsServer, PerClientStats, SchedPolicy, ServerConfig, ServerStats};
 use nfsperf_sim::{mbps, Sim, SimDuration};
 use nfsperf_sunrpc::Transport;
 
@@ -50,6 +50,9 @@ pub struct FleetConfig {
     pub client_nic: NicSpec,
     /// Base RNG seed; each client machine derives its own from it.
     pub seed: u64,
+    /// Server request scheduling policy (FIFO by default — the fleet
+    /// baseline measures the paper's arrival-order servers).
+    pub sched: SchedPolicy,
 }
 
 impl FleetConfig {
@@ -68,6 +71,7 @@ impl FleetConfig {
             tuning: ClientTuning::full_patch(),
             client_nic: NicSpec::fast_ethernet(),
             seed: 0x1f5,
+            sched: SchedPolicy::Fifo,
         }
     }
 }
@@ -108,6 +112,16 @@ pub fn jain_index(xs: &[f64]) -> f64 {
     (sum * sum) / (xs.len() as f64 * sum_sq)
 }
 
+/// The worst (largest) value of a per-client latency field, in
+/// milliseconds — tail reporting follows the slowest client, the one a
+/// fleet operator would page on.
+fn worst_ms(stats: &[PerClientStats], field: impl Fn(&PerClientStats) -> SimDuration) -> f64 {
+    stats
+        .iter()
+        .map(|c| field(c).as_nanos() as f64 / 1e6)
+        .fold(0.0, f64::max)
+}
+
 /// Runs one fleet measurement: every client writes `bytes_per_client`
 /// sequentially and closes (full flush), all concurrently, through one
 /// shared uplink into one server. Deterministic for a given config.
@@ -117,7 +131,13 @@ pub fn run_fleet(config: &FleetConfig) -> FleetRun {
     // The shared uplink runs at the server NIC's rate: the fleet fights
     // for the same wire the paper's single client had to itself.
     let switch = Switch::new(&sim, config.server.nic_spec(), Path::default_latency());
-    let server = NfsServer::new(&sim, config.server.server_config());
+    let server = NfsServer::new(
+        &sim,
+        ServerConfig {
+            sched: config.sched,
+            ..config.server.server_config()
+        },
+    );
 
     let mut mounts = Vec::new();
     for i in 0..config.clients {
@@ -215,6 +235,10 @@ pub struct FleetCell {
     pub per_client_min_mbps: f64,
     /// Jain fairness index.
     pub jain: f64,
+    /// Worst client's median server-side service latency, ms.
+    pub svc_p50_ms: f64,
+    /// Worst client's p99 server-side service latency, ms.
+    pub svc_p99_ms: f64,
 }
 
 /// The full scaling sweep: client counts × servers × transports.
@@ -257,6 +281,8 @@ pub fn fleet_sweep(
                         .copied()
                         .fold(f64::INFINITY, f64::min),
                     jain: run.jain,
+                    svc_p50_ms: worst_ms(&run.per_client_server, |c| c.service.p50),
+                    svc_p99_ms: worst_ms(&run.per_client_server, |c| c.service.p99),
                 });
             }
         }
@@ -292,11 +318,11 @@ impl FleetSweep {
     /// The sweep as CSV (also what [`FleetSweep::write_csv`] writes).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "server,transport,clients,aggregate_mbps,per_client_mean_mbps,per_client_min_mbps,jain\n",
+            "server,transport,clients,aggregate_mbps,per_client_mean_mbps,per_client_min_mbps,jain,svc_p50_ms,svc_p99_ms\n",
         );
         for r in &self.rows {
             out.push_str(&format!(
-                "{},{},{},{:.3},{:.3},{:.3},{:.4}\n",
+                "{},{},{},{:.3},{:.3},{:.3},{:.4},{:.3},{:.3}\n",
                 r.server.label(),
                 r.transport.label(),
                 r.clients,
@@ -304,6 +330,8 @@ impl FleetSweep {
                 r.per_client_mean_mbps,
                 r.per_client_min_mbps,
                 r.jain,
+                r.svc_p50_ms,
+                r.svc_p99_ms,
             ));
         }
         out
@@ -331,6 +359,7 @@ impl FleetSweep {
                     format!("{:.1}", r.per_client_mean_mbps),
                     format!("{:.1}", r.per_client_min_mbps),
                     format!("{:.3}", r.jain),
+                    format!("{:.2}", r.svc_p99_ms),
                 ]
             })
             .collect();
@@ -343,6 +372,7 @@ impl FleetSweep {
                 "mean/client",
                 "min/client",
                 "jain",
+                "svc p99 ms",
             ],
             &rows,
         );
@@ -462,6 +492,8 @@ mod tests {
                     per_client_mean_mbps: 30.0,
                     per_client_min_mbps: 30.0,
                     jain: 1.0,
+                    svc_p50_ms: 0.2,
+                    svc_p99_ms: 0.5,
                 },
                 FleetCell {
                     server: ServerKind::Filer,
@@ -471,6 +503,8 @@ mod tests {
                     per_client_mean_mbps: 27.5,
                     per_client_min_mbps: 27.0,
                     jain: 1.0,
+                    svc_p50_ms: 0.3,
+                    svc_p99_ms: 0.8,
                 },
                 FleetCell {
                     server: ServerKind::Filer,
@@ -480,6 +514,8 @@ mod tests {
                     per_client_mean_mbps: 14.0,
                     per_client_min_mbps: 13.5,
                     jain: 1.0,
+                    svc_p50_ms: 0.6,
+                    svc_p99_ms: 1.4,
                 },
             ],
             bytes_per_client: 1 << 20,

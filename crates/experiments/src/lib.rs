@@ -11,6 +11,7 @@ pub mod ablations;
 pub mod concurrency;
 pub mod figures;
 pub mod fleet;
+pub mod qos;
 pub mod render;
 pub mod scenario;
 pub mod transport;
@@ -30,6 +31,7 @@ pub use figures::{
     quick_file_sizes, slow_server_comparison, table1, HistogramPair, LatencyTrace,
     SlowServerComparison, Table1,
 };
+pub use qos::{qos_sweep, run_qos, QosCell, QosConfig, QosRun, QosSweep};
 pub use render::{ascii_table, write_rows_csv, Series, Sweep};
 pub use scenario::{
     run_bonnie, run_custom, run_local, run_local_with_ram, write_throughput_mbps, RunOutput,

@@ -12,11 +12,16 @@
 pub mod disk;
 pub mod fs;
 pub mod nvram;
+pub mod sched;
 pub mod server;
 
 pub use disk::DiskModel;
 pub use fs::{FsState, ROOT_FILEID};
 pub use nvram::Nvram;
+pub use sched::{
+    ClassedDrr, Drr, Fifo, LatencyDigest, OpClass, ReqMeta, SchedPolicy, Scheduler, ServiceEngine,
+    SvcSlot, Ticket,
+};
 pub use server::{BackendConfig, DiskKind, NfsServer, PerClientStats, ServerConfig, ServerStats};
 
 #[cfg(test)]

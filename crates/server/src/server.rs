@@ -10,7 +10,7 @@ use nfsperf_nfs3::{
     Lookup3Res, NfsProc3, NfsStat3, Read3Args, Read3Res, Setattr3Args, Setattr3Res, StableHow,
     WccData, Write3Args, Write3Res, WriteVerf, NFS_PROGRAM, NFS_V3,
 };
-use nfsperf_sim::{Counter, Gate, Receiver, Semaphore, Sim, SimDuration};
+use nfsperf_sim::{Counter, Gate, Receiver, Sim, SimDuration, SimTime};
 use nfsperf_sunrpc::{
     decode_call, encode_record, encode_reply, encode_reply_status, RecordReader,
     ACCEPT_GARBAGE_ARGS, ACCEPT_PROC_UNAVAIL, ACCEPT_PROG_MISMATCH, ACCEPT_PROG_UNAVAIL,
@@ -21,6 +21,7 @@ use nfsperf_xdr::XdrDecode;
 use crate::disk::DiskModel;
 use crate::fs::FsState;
 use crate::nvram::Nvram;
+use crate::sched::{LatencyDigest, OpClass, ReqMeta, SchedPolicy, ServiceEngine, SvcSlot};
 
 /// Which disk model a backend drains to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,6 +85,10 @@ pub struct ServerConfig {
     /// Fault injection: WRITEs fail with `NFS3ERR_NOSPC` once this many
     /// payload bytes have been absorbed (`None` = never).
     pub write_error_after: Option<u64>,
+    /// Request scheduling policy across the service slots. FIFO by
+    /// default: the paper's servers serve in arrival order, and the
+    /// reproduced figures depend on it.
+    pub sched: SchedPolicy,
 }
 
 impl ServerConfig {
@@ -104,6 +109,7 @@ impl ServerConfig {
                 checkpoint_offset: SimDuration::from_millis(400),
             },
             write_error_after: None,
+            sched: SchedPolicy::Fifo,
         }
     }
 
@@ -121,6 +127,7 @@ impl ServerConfig {
                 disk: DiskKind::ScsiSingle,
             },
             write_error_after: None,
+            sched: SchedPolicy::Fifo,
         }
     }
 
@@ -135,6 +142,7 @@ impl ServerConfig {
             data_rate_bps: 100_000_000,
             backend: BackendConfig::Memory,
             write_error_after: None,
+            sched: SchedPolicy::Fifo,
         }
     }
 }
@@ -187,6 +195,31 @@ pub struct PerClientStats {
     pub write_bytes: u64,
     /// COMMIT operations served for this client.
     pub commits: u64,
+    /// Queue delay (request arrival to service start) percentiles.
+    pub queue_delay: LatencyDigest,
+    /// Service latency (request arrival to completion) percentiles.
+    pub service: LatencyDigest,
+}
+
+/// How a reply leaves the server: transports differ only in framing.
+enum ReplySink {
+    /// Datagram reply along a UDP path.
+    Udp(Path),
+    /// Record-marked reply onto a TCP connection.
+    Tcp(Rc<TcpConn>),
+}
+
+impl ReplySink {
+    fn deliver(&self, reply: DatagramPayload) {
+        match self {
+            ReplySink::Udp(path) => path.send(reply),
+            // A send error means the peer went away; a real server drops
+            // the reply on the floor, so do we.
+            ReplySink::Tcp(conn) => {
+                let _ = conn.send(&encode_record(&reply));
+            }
+        }
+    }
 }
 
 /// A running simulated NFS server.
@@ -195,7 +228,7 @@ pub struct NfsServer {
     /// The exported file system.
     pub fs: Rc<FsState>,
     per_client: RefCell<Vec<PerClientStats>>,
-    svc: Rc<Semaphore>,
+    engine: Rc<ServiceEngine>,
     fixed_op_cost: SimDuration,
     data_rate_bps: u64,
     backend: Backend,
@@ -248,13 +281,7 @@ impl NfsServer {
         let dispatcher = Rc::clone(self);
         self.sim.spawn(async move {
             while let Some(payload) = rx.recv().await {
-                let handler = Rc::clone(&dispatcher);
-                let reply_path = reply_path.clone();
-                handler.sim.clone().spawn(async move {
-                    if let Some(reply) = handler.process(client, payload).await {
-                        reply_path.send(reply);
-                    }
-                });
+                dispatcher.serve_one(client, payload, ReplySink::Udp(reply_path.clone()));
             }
         });
         client
@@ -346,7 +373,7 @@ impl NfsServer {
             sim: sim.clone(),
             fs: Rc::new(FsState::new()),
             per_client: RefCell::new(Vec::new()),
-            svc: Rc::new(Semaphore::new(config.concurrency)),
+            engine: ServiceEngine::new(sim, config.concurrency, config.sched),
             fixed_op_cost: config.fixed_op_cost,
             data_rate_bps: config.data_rate_bps,
             backend,
@@ -361,8 +388,8 @@ impl NfsServer {
         })
     }
 
-    /// One TCP connection's service loop: reassemble call records, process
-    /// each concurrently, reply on the same connection.
+    /// One TCP connection's service loop: reassemble call records and feed
+    /// each into the shared service path, replying on the same connection.
     async fn serve_conn(self: Rc<Self>, client: usize, conn: Rc<TcpConn>) {
         let mut records = RecordReader::new();
         loop {
@@ -372,15 +399,22 @@ impl NfsServer {
             };
             records.push(&bytes);
             while let Some(call) = records.next_record() {
-                let srv = Rc::clone(&self);
-                let reply_conn = Rc::clone(&conn);
-                self.sim.spawn(async move {
-                    if let Some(reply) = srv.process(client, call).await {
-                        let _ = reply_conn.send(&encode_record(&reply));
-                    }
-                });
+                self.serve_one(client, call, ReplySink::Tcp(Rc::clone(&conn)));
             }
         }
+    }
+
+    /// The single service loop body shared by every transport: spawn a
+    /// task that runs the call through [`NfsServer::process`] (where the
+    /// scheduler orders it against every other client) and deliver the
+    /// reply through the transport's framing.
+    fn serve_one(self: &Rc<Self>, client: usize, call: DatagramPayload, sink: ReplySink) {
+        let handler = Rc::clone(self);
+        self.sim.clone().spawn(async move {
+            if let Some(reply) = handler.process(client, call).await {
+                sink.deliver(reply);
+            }
+        });
     }
 
     fn data_time(&self, bytes: u64) -> SimDuration {
@@ -404,38 +438,41 @@ impl NfsServer {
         }
         self.ops.inc();
         self.client_stat(client, |c| c.ops += 1);
+        // Queue delay is measured from here: the decoded request has
+        // reached the service path and is waiting for the scheduler.
+        let arrival = self.sim.now();
         let reply = match NfsProc3::from_u32(hdr.proc) {
             Some(NfsProc3::Null) => {
-                let _svc = self.svc.acquire().await;
+                let _svc = self.admit(client, OpClass::Meta, 0, arrival).await;
                 self.sim.sleep(self.fixed_op_cost).await;
                 encode_reply(hdr.xid, &0u32)
             }
             Some(NfsProc3::Write) => match Write3Args::decode(&mut args) {
-                Ok(w) => self.handle_write(client, hdr.xid, w).await,
+                Ok(w) => self.handle_write(client, hdr.xid, w, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Commit) => match Commit3Args::decode(&mut args) {
-                Ok(c) => self.handle_commit(client, hdr.xid, c).await,
+                Ok(c) => self.handle_commit(client, hdr.xid, c, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Create) => match Create3Args::decode(&mut args) {
-                Ok(c) => self.handle_create(hdr.xid, c).await,
+                Ok(c) => self.handle_create(client, hdr.xid, c, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Lookup) => match Lookup3Args::decode(&mut args) {
-                Ok(l) => self.handle_lookup(hdr.xid, l).await,
+                Ok(l) => self.handle_lookup(client, hdr.xid, l, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Getattr) => match Getattr3Args::decode(&mut args) {
-                Ok(g) => self.handle_getattr(hdr.xid, g).await,
+                Ok(g) => self.handle_getattr(client, hdr.xid, g, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Setattr) => match Setattr3Args::decode(&mut args) {
-                Ok(a) => self.handle_setattr(hdr.xid, a).await,
+                Ok(a) => self.handle_setattr(client, hdr.xid, a, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             Some(NfsProc3::Read) => match Read3Args::decode(&mut args) {
-                Ok(r) => self.handle_read(hdr.xid, r).await,
+                Ok(r) => self.handle_read(client, hdr.xid, r, arrival).await,
                 Err(_) => encode_reply_status(hdr.xid, ACCEPT_GARBAGE_ARGS, None),
             },
             None => encode_reply_status(hdr.xid, ACCEPT_PROC_UNAVAIL, None),
@@ -443,13 +480,33 @@ impl NfsServer {
         Some(reply)
     }
 
-    async fn handle_write(&self, client: usize, xid: u32, w: Write3Args) -> DatagramPayload {
+    /// Takes a service slot for one request, in scheduler order.
+    async fn admit(&self, client: usize, class: OpClass, bytes: u64, arrival: SimTime) -> SvcSlot {
+        self.engine
+            .admit(ReqMeta {
+                client,
+                class,
+                bytes,
+                arrival,
+            })
+            .await
+    }
+
+    async fn handle_write(
+        &self,
+        client: usize,
+        xid: u32,
+        w: Write3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
         // Checkpoint pause happens before service (the filer stops
         // answering during a consistency point).
         if let Backend::Filer { checkpoint, .. } = &self.backend {
             checkpoint.pass().await;
         }
-        let _svc = self.svc.acquire().await;
+        let _svc = self
+            .admit(client, OpClass::Write, u64::from(w.count), arrival)
+            .await;
         self.sim
             .sleep(self.fixed_op_cost + self.data_time(u64::from(w.count)))
             .await;
@@ -542,11 +599,17 @@ impl NfsServer {
         }
     }
 
-    async fn handle_commit(&self, client: usize, xid: u32, c: Commit3Args) -> DatagramPayload {
+    async fn handle_commit(
+        &self,
+        client: usize,
+        xid: u32,
+        c: Commit3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
         if let Backend::Filer { checkpoint, .. } = &self.backend {
             checkpoint.pass().await;
         }
-        let _svc = self.svc.acquire().await;
+        let _svc = self.admit(client, OpClass::Commit, 0, arrival).await;
         self.sim.sleep(self.fixed_op_cost).await;
         self.commits.inc();
         self.client_stat(client, |c| c.commits += 1);
@@ -588,8 +651,14 @@ impl NfsServer {
         )
     }
 
-    async fn handle_create(&self, xid: u32, c: Create3Args) -> DatagramPayload {
-        let _svc = self.svc.acquire().await;
+    async fn handle_create(
+        &self,
+        client: usize,
+        xid: u32,
+        c: Create3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
+        let _svc = self.admit(client, OpClass::Meta, 0, arrival).await;
         self.sim.sleep(self.fixed_op_cost).await;
         let (fh, attrs) = self.fs.create(&c.name);
         encode_reply(
@@ -602,8 +671,14 @@ impl NfsServer {
         )
     }
 
-    async fn handle_lookup(&self, xid: u32, l: Lookup3Args) -> DatagramPayload {
-        let _svc = self.svc.acquire().await;
+    async fn handle_lookup(
+        &self,
+        client: usize,
+        xid: u32,
+        l: Lookup3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
+        let _svc = self.admit(client, OpClass::Meta, 0, arrival).await;
         self.sim.sleep(self.fixed_op_cost).await;
         let res = match self.fs.lookup(&l.name) {
             Ok((fh, attrs)) => Lookup3Res {
@@ -620,8 +695,14 @@ impl NfsServer {
         encode_reply(xid, &res)
     }
 
-    async fn handle_getattr(&self, xid: u32, g: Getattr3Args) -> DatagramPayload {
-        let _svc = self.svc.acquire().await;
+    async fn handle_getattr(
+        &self,
+        client: usize,
+        xid: u32,
+        g: Getattr3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
+        let _svc = self.admit(client, OpClass::Meta, 0, arrival).await;
         self.sim.sleep(self.fixed_op_cost).await;
         let res = match self.fs.getattr(&g.file) {
             Ok(attrs) => Getattr3Res {
@@ -636,8 +717,14 @@ impl NfsServer {
         encode_reply(xid, &res)
     }
 
-    async fn handle_setattr(&self, xid: u32, a: Setattr3Args) -> DatagramPayload {
-        let _svc = self.svc.acquire().await;
+    async fn handle_setattr(
+        &self,
+        client: usize,
+        xid: u32,
+        a: Setattr3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
+        let _svc = self.admit(client, OpClass::Meta, 0, arrival).await;
         self.sim.sleep(self.fixed_op_cost).await;
         let before = self.fs.size_of(&a.file).unwrap_or(0);
         let res = match a.attrs.size {
@@ -665,8 +752,16 @@ impl NfsServer {
         encode_reply(xid, &res)
     }
 
-    async fn handle_read(&self, xid: u32, r: Read3Args) -> DatagramPayload {
-        let _svc = self.svc.acquire().await;
+    async fn handle_read(
+        &self,
+        client: usize,
+        xid: u32,
+        r: Read3Args,
+        arrival: SimTime,
+    ) -> DatagramPayload {
+        let _svc = self
+            .admit(client, OpClass::Meta, u64::from(r.count), arrival)
+            .await;
         match self.fs.getattr(&r.file) {
             Ok(attrs) => {
                 let available = attrs.size.saturating_sub(r.offset);
@@ -731,7 +826,19 @@ impl NfsServer {
     /// Snapshot of per-client statistics, indexed by client id in
     /// attach order.
     pub fn per_client_stats(&self) -> Vec<PerClientStats> {
-        self.per_client.borrow().clone()
+        let mut stats = self.per_client.borrow().clone();
+        for (client, s) in stats.iter_mut().enumerate() {
+            let (queue_delay, service) = self.engine.digests(client);
+            s.queue_delay = queue_delay;
+            s.service = service;
+        }
+        stats
+    }
+
+    /// The request scheduler's service engine (slots, queue, latency
+    /// samples).
+    pub fn service_engine(&self) -> &Rc<ServiceEngine> {
+        &self.engine
     }
 
     /// NVRAM fill level, if this server has one.

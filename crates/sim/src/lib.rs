@@ -34,7 +34,7 @@ pub mod sync;
 pub mod time;
 
 pub use executor::{yield_now, JoinHandle, Sim, Sleep, TaskId, YieldNow};
-pub use metrics::{mbps, ByteMeter, Counter, Histogram, ProfileRow, Profiler, Trace};
+pub use metrics::{mbps, mean, percentile, ByteMeter, Counter, Histogram, ProfileRow, Profiler, Trace};
 pub use rng::SimRng;
 pub use select::{select2, Either};
 pub use sync::{

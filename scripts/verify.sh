@@ -56,6 +56,23 @@ awk -F, 'NR > 1 {
         if (rows == 0) { print "FAIL: empty fleet-quick.csv"; exit 1 }
     }' results/fleet-quick.csv
 
+echo "==> qos smoke run (quick, twice, bit-identical)"
+out="$(cargo run -q --release --offline --bin nfsperf -- qos --quick --out results/qos-quick.csv)"
+echo "$out"
+cargo run -q --release --offline --bin nfsperf -- qos --quick --out results/qos-quick-2.csv > /dev/null
+cmp results/qos-quick.csv results/qos-quick-2.csv \
+    || { echo "FAIL: qos sweep is not bit-deterministic"; exit 1; }
+rm -f results/qos-quick-2.csv
+# FIFO must show the hog starving victims; DRR rows must restore fairness.
+awk -F, 'NR > 1 {
+        rows++
+        if ($2 == "fifo" && $7 + 0 >= 0.6) { print "FAIL: no starvation under fifo: " $0; exit 1 }
+        if ($2 != "fifo" && $7 + 0 < 0.95) { print "FAIL: unfair under " $2 ": " $0; exit 1 }
+    }
+    END {
+        if (rows == 0) { print "FAIL: empty qos-quick.csv"; exit 1 }
+    }' results/qos-quick.csv
+
 echo "==> no external dependencies"
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then
     echo "FAIL: external dependency lines found above"

@@ -7,6 +7,7 @@
 //! nfsperf concurrency
 //! nfsperf transport [--quick]
 //! nfsperf fleet [--quick] [--out FILE]
+//! nfsperf qos [--quick] [--out FILE]
 //! nfsperf help
 //! ```
 //!
@@ -17,9 +18,10 @@ use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{
-    figures, fleet_sweep, run_bonnie, transport_sweep, Scenario, ServerKind,
+    figures, fleet_sweep, qos_sweep, run_bonnie, transport_sweep, Scenario, ServerKind,
     FLEET_CLIENT_COUNTS, LOSS_RATES,
 };
+use nfsperf_server::SchedPolicy;
 use nfsperf_sim::SimDuration;
 use nfsperf_sunrpc::Transport;
 
@@ -35,6 +37,7 @@ USAGE:
     nfsperf concurrency
     nfsperf transport [--quick]
     nfsperf fleet [--quick] [--out FILE]
+    nfsperf qos [--quick] [--out FILE]
     nfsperf help
 
 OPTIONS (run):
@@ -57,6 +60,11 @@ COMMANDS:
                 {udp, tcp} through one shared uplink (4 MB per client;
                 --quick for 1-4 clients at 1 MB); writes CSV to --out
                 [results/fleet.csv]
+    qos         unfair-workload sweep: one hog (gigabit NIC, 64 RPC
+                slots, 32 KB writes, periodic fsync) vs 7 victims,
+                {filer, knfsd} x {fifo, drr, classed-drr} (--quick for
+                filer only with 4 victims); writes CSV to --out
+                [results/qos.csv]
 "
 }
 
@@ -330,6 +338,37 @@ fn cmd_fleet(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_qos(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "results/qos.csv".into());
+    args.finish()?;
+    let scheds = [
+        SchedPolicy::Fifo,
+        SchedPolicy::drr(),
+        SchedPolicy::classed_drr(),
+    ];
+    let (servers, victims, bytes): (&[ServerKind], usize, u64) = if quick {
+        (&[ServerKind::Filer], 4, 1 << 20)
+    } else {
+        (&[ServerKind::Filer, ServerKind::Knfsd], 7, 2 << 20)
+    };
+    println!(
+        "qos sweep: 1 hog (gigabit NIC, 64 slots, 32 KB writes, periodic fsync) \
+         vs {} victims, {} MB per victim",
+        victims,
+        bytes >> 20
+    );
+    let sweep = qos_sweep(servers, &scheds, victims, bytes);
+    println!("{}", sweep.render());
+    sweep
+        .write_csv(std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -345,6 +384,7 @@ fn main() -> ExitCode {
         "concurrency" => cmd_concurrency(args),
         "transport" => cmd_transport(args),
         "fleet" => cmd_fleet(args),
+        "qos" => cmd_qos(args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())
