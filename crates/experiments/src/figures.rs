@@ -5,7 +5,7 @@
 //! them and EXPERIMENTS.md records paper-vs-measured.
 
 use nfsperf_client::ClientTuning;
-use nfsperf_sim::{Histogram, SimDuration};
+use nfsperf_sim::{runner, Histogram, SimDuration};
 
 use crate::render::{Series, Sweep};
 use crate::scenario::{run_bonnie, run_local, write_throughput_mbps, Scenario, ServerKind};
@@ -28,21 +28,38 @@ fn mb(bytes: u64) -> f64 {
 }
 
 /// Figures 1 and 7 share a shape: local ext2 vs NFS on both servers,
-/// write throughput against file size.
-fn throughput_sweep(tuning: ClientTuning, sizes: &[u64]) -> Sweep {
-    let mut local = Vec::new();
-    let mut filer = Vec::new();
-    let mut knfsd = Vec::new();
+/// write throughput against file size. Each `(size, backend)` point is
+/// an isolated world, fanned across up to `jobs` worker threads; results
+/// come back in work-list order, so the sweep (and its CSV) is
+/// bit-identical at any `jobs` value.
+pub fn throughput_sweep(tuning: ClientTuning, sizes: &[u64], jobs: usize) -> Sweep {
+    const BACKENDS: usize = 3;
+    let mut cells: Vec<runner::Cell<(f64, f64)>> = Vec::new();
     for &size in sizes {
-        local.push((mb(size), run_local(size, false).write_mbps()));
-        filer.push((
-            mb(size),
-            write_throughput_mbps(&Scenario::new(tuning, ServerKind::Filer), size),
-        ));
-        knfsd.push((
-            mb(size),
-            write_throughput_mbps(&Scenario::new(tuning, ServerKind::Knfsd), size),
-        ));
+        cells.push(runner::Cell::new(format!("figure/local/{}", mb(size)), move || {
+            (mb(size), run_local(size, false).write_mbps())
+        }));
+        cells.push(runner::Cell::new(format!("figure/filer/{}", mb(size)), move || {
+            (
+                mb(size),
+                write_throughput_mbps(&Scenario::new(tuning, ServerKind::Filer), size),
+            )
+        }));
+        cells.push(runner::Cell::new(format!("figure/knfsd/{}", mb(size)), move || {
+            (
+                mb(size),
+                write_throughput_mbps(&Scenario::new(tuning, ServerKind::Knfsd), size),
+            )
+        }));
+    }
+    let points = runner::run_cells(jobs, cells);
+    let mut local = Vec::with_capacity(sizes.len());
+    let mut filer = Vec::with_capacity(sizes.len());
+    let mut knfsd = Vec::with_capacity(sizes.len());
+    for chunk in points.chunks_exact(BACKENDS) {
+        local.push(chunk[0]);
+        filer.push(chunk[1]);
+        knfsd.push(chunk[2]);
     }
     Sweep {
         series: vec![
@@ -58,15 +75,15 @@ fn throughput_sweep(tuning: ClientTuning, sizes: &[u64]) -> Sweep {
 /// Figure 1: local vs NFS memory write performance with the **stock**
 /// 2.4.4 client. NFS throughput stays pinned at network/server speed
 /// while local writes run at memory speed until RAM is exhausted.
-pub fn figure1(sizes: &[u64]) -> Sweep {
-    throughput_sweep(ClientTuning::linux_2_4_4(), sizes)
+pub fn figure1(sizes: &[u64], jobs: usize) -> Sweep {
+    throughput_sweep(ClientTuning::linux_2_4_4(), sizes, jobs)
 }
 
 /// Figure 7: the same sweep with the **fully patched** client. NFS write
 /// throughput approaches local memory speed while RAM lasts, and the
 /// filer sustains more than the Linux server past exhaustion.
-pub fn figure7(sizes: &[u64]) -> Sweep {
-    throughput_sweep(ClientTuning::full_patch(), sizes)
+pub fn figure7(sizes: &[u64], jobs: usize) -> Sweep {
+    throughput_sweep(ClientTuning::full_patch(), sizes, jobs)
 }
 
 /// Result of a latency-trace experiment (Figures 2, 3 and 4).

@@ -19,7 +19,7 @@ use nfsperf_client::{ClientTuning, MountConfig, NfsMount};
 use nfsperf_kernel::{CostTable, Kernel, KernelConfig, SimFile};
 use nfsperf_net::{LinkDir, Nic, NicSpec, Path, Switch};
 use nfsperf_server::{NfsServer, PerClientStats, SchedPolicy, ServerConfig, ServerStats};
-use nfsperf_sim::{mbps, Sim, SimDuration};
+use nfsperf_sim::{mbps, runner, Sim, SimDuration};
 use nfsperf_sunrpc::Transport;
 
 use crate::render::ascii_table;
@@ -250,45 +250,69 @@ pub struct FleetSweep {
     pub bytes_per_client: u64,
 }
 
-/// Runs the sweep. Cells are fully independent worlds, deterministic for
-/// a given `(counts, servers, transports, bytes_per_client)` input.
+/// Builds the sweep's work-list: one [`runner::Cell`] per
+/// `(server, transport, clients)` triple, in sweep order.
+pub fn fleet_cells(
+    counts: &[usize],
+    servers: &[ServerKind],
+    transports: &[Transport],
+    bytes_per_client: u64,
+) -> Vec<runner::Cell<FleetCell>> {
+    let mut cells = Vec::new();
+    for &server in servers {
+        for &transport in transports {
+            for &clients in counts {
+                cells.push(runner::Cell::new(
+                    format!(
+                        "fleet/{}/{}/c{}",
+                        server.label(),
+                        transport.label(),
+                        clients
+                    ),
+                    move || {
+                        let run = run_fleet(&FleetConfig::new(
+                            server,
+                            transport,
+                            clients,
+                            bytes_per_client,
+                        ));
+                        let n = run.per_client_mbps.len() as f64;
+                        FleetCell {
+                            server,
+                            transport,
+                            clients,
+                            aggregate_mbps: run.aggregate_mbps,
+                            per_client_mean_mbps: run.per_client_mbps.iter().sum::<f64>() / n,
+                            per_client_min_mbps: run
+                                .per_client_mbps
+                                .iter()
+                                .copied()
+                                .fold(f64::INFINITY, f64::min),
+                            jain: run.jain,
+                            svc_p50_ms: worst_ms(&run.per_client_server, |c| c.service.p50),
+                            svc_p99_ms: worst_ms(&run.per_client_server, |c| c.service.p99),
+                        }
+                    },
+                ));
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the sweep on up to `jobs` worker threads. Cells are fully
+/// independent worlds, deterministic for a given
+/// `(counts, servers, transports, bytes_per_client)` input — the rows
+/// (and the CSV) are bit-identical at any `jobs` value.
 pub fn fleet_sweep(
     counts: &[usize],
     servers: &[ServerKind],
     transports: &[Transport],
     bytes_per_client: u64,
+    jobs: usize,
 ) -> FleetSweep {
-    let mut rows = Vec::new();
-    for &server in servers {
-        for &transport in transports {
-            for &clients in counts {
-                let run = run_fleet(&FleetConfig::new(
-                    server,
-                    transport,
-                    clients,
-                    bytes_per_client,
-                ));
-                let n = run.per_client_mbps.len() as f64;
-                rows.push(FleetCell {
-                    server,
-                    transport,
-                    clients,
-                    aggregate_mbps: run.aggregate_mbps,
-                    per_client_mean_mbps: run.per_client_mbps.iter().sum::<f64>() / n,
-                    per_client_min_mbps: run
-                        .per_client_mbps
-                        .iter()
-                        .copied()
-                        .fold(f64::INFINITY, f64::min),
-                    jain: run.jain,
-                    svc_p50_ms: worst_ms(&run.per_client_server, |c| c.service.p50),
-                    svc_p99_ms: worst_ms(&run.per_client_server, |c| c.service.p99),
-                });
-            }
-        }
-    }
     FleetSweep {
-        rows,
+        rows: runner::run_cells(jobs, fleet_cells(counts, servers, transports, bytes_per_client)),
         bytes_per_client,
     }
 }
@@ -469,12 +493,7 @@ mod tests {
 
     #[test]
     fn sweep_rows_and_knee_reporting() {
-        let sweep = fleet_sweep(
-            &[1, 2],
-            &[ServerKind::Filer],
-            &[Transport::Udp],
-            1 << 20,
-        );
+        let sweep = fleet_sweep(&[1, 2], &[ServerKind::Filer], &[Transport::Udp], 1 << 20, 1);
         assert_eq!(sweep.rows.len(), 2);
         let csv = sweep.to_csv();
         assert!(csv.starts_with("server,transport,clients,aggregate_mbps"));

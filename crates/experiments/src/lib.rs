@@ -23,18 +23,18 @@ pub use ablations::{
 };
 pub use concurrency::{concurrent_writers, future_work_comparison, ConcurrencyResult, Topology};
 pub use fleet::{
-    fleet_sweep, jain_index, run_fleet, FleetCell, FleetConfig, FleetRun, FleetSweep,
+    fleet_cells, fleet_sweep, jain_index, run_fleet, FleetCell, FleetConfig, FleetRun, FleetSweep,
     FLEET_CLIENT_COUNTS,
 };
 pub use figures::{
     figure1, figure2, figure3, figure4, figure5, figure6, figure7, paper_file_sizes,
-    quick_file_sizes, slow_server_comparison, table1, HistogramPair, LatencyTrace,
-    SlowServerComparison, Table1,
+    quick_file_sizes, slow_server_comparison, table1, throughput_sweep, HistogramPair,
+    LatencyTrace, SlowServerComparison, Table1,
 };
-pub use qos::{qos_sweep, run_qos, QosCell, QosConfig, QosRun, QosSweep};
+pub use qos::{qos_cells, qos_sweep, run_qos, QosCell, QosConfig, QosRun, QosSweep};
 pub use render::{ascii_table, write_rows_csv, Series, Sweep};
 pub use scenario::{
     run_bonnie, run_custom, run_local, run_local_with_ram, write_throughput_mbps, RunOutput,
     Scenario, ServerKind,
 };
-pub use transport::{transport_sweep, TransportRow, TransportSweep, LOSS_RATES};
+pub use transport::{transport_cells, transport_sweep, TransportRow, TransportSweep, LOSS_RATES};

@@ -23,7 +23,7 @@ use nfsperf_client::{ClientTuning, MountConfig, NfsMount};
 use nfsperf_kernel::{CostTable, Kernel, KernelConfig, SimFile};
 use nfsperf_net::{Nic, NicSpec, Path, Switch};
 use nfsperf_server::{NfsServer, PerClientStats, SchedPolicy, ServerConfig, ServerStats};
-use nfsperf_sim::{mbps, Sim, SimDuration};
+use nfsperf_sim::{mbps, runner, Sim, SimDuration};
 use nfsperf_sunrpc::Transport;
 
 use crate::fleet::jain_index;
@@ -295,49 +295,68 @@ pub struct QosSweep {
     pub bytes_per_victim: u64,
 }
 
-/// Runs the sweep: for every server × policy, one hog run and one
-/// hog-free baseline. Cells are independent worlds, deterministic for a
-/// given input.
+/// Builds the sweep's work-list: one [`runner::Cell`] per
+/// `(server, sched)` pair; each cell runs the hog-free baseline and the
+/// hog world back to back (both inside the same worker).
+pub fn qos_cells(
+    servers: &[ServerKind],
+    scheds: &[SchedPolicy],
+    victims: usize,
+    bytes_per_victim: u64,
+) -> Vec<runner::Cell<QosCell>> {
+    let mut cells = Vec::new();
+    for &server in servers {
+        for &sched in scheds {
+            cells.push(runner::Cell::new(
+                format!("qos/{}/{}", server.label(), sched.label()),
+                move || {
+                    let config = QosConfig::new(server, sched, victims, bytes_per_victim);
+                    let base = run_qos(&config.baseline());
+                    let run = run_qos(&config);
+                    let n = run.victim_mbps.len() as f64;
+                    let victim_p99_ms = run.victim_svc_p99.as_nanos() as f64 / 1e6;
+                    let baseline_p99_ms = base.victim_svc_p99.as_nanos() as f64 / 1e6;
+                    QosCell {
+                        server,
+                        sched,
+                        victims,
+                        victim_mean_mbps: run.victim_mbps.iter().sum::<f64>() / n,
+                        victim_min_mbps: run
+                            .victim_mbps
+                            .iter()
+                            .copied()
+                            .fold(f64::INFINITY, f64::min),
+                        hog_mbps: run.hog_mbps,
+                        jain_all: run.jain_all,
+                        victim_jain: run.victim_jain,
+                        victim_p99_ms,
+                        baseline_p99_ms,
+                        p99_ratio: if baseline_p99_ms > 0.0 {
+                            victim_p99_ms / baseline_p99_ms
+                        } else {
+                            1.0
+                        },
+                    }
+                },
+            ));
+        }
+    }
+    cells
+}
+
+/// Runs the sweep on up to `jobs` worker threads: for every server ×
+/// policy, one hog run and one hog-free baseline. Cells are independent
+/// worlds, deterministic for a given input — rows (and the CSV) are
+/// bit-identical at any `jobs` value.
 pub fn qos_sweep(
     servers: &[ServerKind],
     scheds: &[SchedPolicy],
     victims: usize,
     bytes_per_victim: u64,
+    jobs: usize,
 ) -> QosSweep {
-    let mut rows = Vec::new();
-    for &server in servers {
-        for &sched in scheds {
-            let config = QosConfig::new(server, sched, victims, bytes_per_victim);
-            let base = run_qos(&config.baseline());
-            let run = run_qos(&config);
-            let n = run.victim_mbps.len() as f64;
-            let victim_p99_ms = run.victim_svc_p99.as_nanos() as f64 / 1e6;
-            let baseline_p99_ms = base.victim_svc_p99.as_nanos() as f64 / 1e6;
-            rows.push(QosCell {
-                server,
-                sched,
-                victims,
-                victim_mean_mbps: run.victim_mbps.iter().sum::<f64>() / n,
-                victim_min_mbps: run
-                    .victim_mbps
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min),
-                hog_mbps: run.hog_mbps,
-                jain_all: run.jain_all,
-                victim_jain: run.victim_jain,
-                victim_p99_ms,
-                baseline_p99_ms,
-                p99_ratio: if baseline_p99_ms > 0.0 {
-                    victim_p99_ms / baseline_p99_ms
-                } else {
-                    1.0
-                },
-            });
-        }
-    }
     QosSweep {
-        rows,
+        rows: runner::run_cells(jobs, qos_cells(servers, scheds, victims, bytes_per_victim)),
         victims,
         bytes_per_victim,
     }

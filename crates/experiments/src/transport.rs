@@ -14,6 +14,7 @@
 //! and TCP's degrades gracefully.
 
 use nfsperf_client::ClientTuning;
+use nfsperf_sim::runner;
 use nfsperf_sunrpc::Transport;
 
 use crate::render::ascii_table;
@@ -82,17 +83,33 @@ fn row(label: &'static str, loss: f64, out: &RunOutput) -> TransportRow {
     }
 }
 
-/// Runs the matrix: each flavour at each loss rate, writing `file_size`
-/// bytes then flushing. Deterministic for a fixed scenario seed.
-pub fn transport_sweep(file_size: u64, loss_rates: &[f64]) -> TransportSweep {
-    let mut rows = Vec::new();
+/// Builds the matrix's work-list: one [`runner::Cell`] per
+/// `(flavour, loss)` pair, flavour-major like the rendered table.
+pub fn transport_cells(file_size: u64, loss_rates: &[f64]) -> Vec<runner::Cell<TransportRow>> {
+    let mut cells = Vec::new();
     for (label, scenario) in flavours() {
         for &loss in loss_rates {
-            let out = run_bonnie(&scenario.clone().with_loss(loss), file_size);
-            rows.push(row(label, loss, &out));
+            let scenario = scenario.clone();
+            cells.push(runner::Cell::new(
+                format!("transport/{label}/loss{loss}"),
+                move || {
+                    let out = run_bonnie(&scenario.with_loss(loss), file_size);
+                    row(label, loss, &out)
+                },
+            ));
         }
     }
-    TransportSweep { rows, file_size }
+    cells
+}
+
+/// Runs the matrix on up to `jobs` worker threads: each flavour at each
+/// loss rate, writing `file_size` bytes then flushing. Deterministic for
+/// a fixed scenario seed at any `jobs` value.
+pub fn transport_sweep(file_size: u64, loss_rates: &[f64], jobs: usize) -> TransportSweep {
+    TransportSweep {
+        rows: runner::run_cells(jobs, transport_cells(file_size, loss_rates)),
+        file_size,
+    }
 }
 
 impl TransportSweep {
@@ -143,7 +160,7 @@ mod tests {
 
     #[test]
     fn sweep_covers_the_matrix() {
-        let sweep = transport_sweep(1 << 20, &[0.0, 0.01]);
+        let sweep = transport_sweep(1 << 20, &[0.0, 0.01], 1);
         assert_eq!(sweep.rows.len(), 6);
         for label in ["udp", "udp+jumbo", "tcp"] {
             for loss in [0.0, 0.01] {
@@ -155,7 +172,7 @@ mod tests {
 
     #[test]
     fn clean_link_never_drops_or_retransmits() {
-        let sweep = transport_sweep(1 << 20, &[0.0]);
+        let sweep = transport_sweep(1 << 20, &[0.0], 1);
         for r in &sweep.rows {
             assert_eq!(r.drops, 0, "{}: drops on clean link", r.label);
             assert_eq!(r.rpc_retransmits, 0, "{}: rpc rexmit", r.label);
@@ -165,7 +182,7 @@ mod tests {
 
     #[test]
     fn render_mentions_every_flavour() {
-        let sweep = transport_sweep(1 << 20, &[0.0]);
+        let sweep = transport_sweep(1 << 20, &[0.0], 1);
         let table = sweep.render();
         assert!(table.contains("udp+jumbo"));
         assert!(table.contains("tcp"));

@@ -35,7 +35,9 @@ use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
 
-use nfsperf_sim::{percentile, Counter, Sim, SimDuration, SimTime};
+use nfsperf_sim::{Counter, Sim, SimDuration, SimTime};
+
+pub use nfsperf_sim::LatencyDigest;
 
 /// Byte cost floor: a zero-byte op (COMMIT, GETATTR) still occupies a
 /// service slot, so DRR charges it as if it carried a small payload.
@@ -509,27 +511,6 @@ impl SchedPolicy {
             SchedPolicy::ClassedDrr { quantum, quota } => {
                 Box::new(ClassedDrr::new(quantum, quota))
             }
-        }
-    }
-}
-
-/// p50/p99/p999 summary of a latency series.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct LatencyDigest {
-    /// Median.
-    pub p50: SimDuration,
-    /// 99th percentile.
-    pub p99: SimDuration,
-    /// 99.9th percentile.
-    pub p999: SimDuration,
-}
-
-impl LatencyDigest {
-    fn of(samples: &[SimDuration]) -> LatencyDigest {
-        LatencyDigest {
-            p50: percentile(samples, 50.0),
-            p99: percentile(samples, 99.0),
-            p999: percentile(samples, 99.9),
         }
     }
 }

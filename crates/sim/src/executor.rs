@@ -13,18 +13,32 @@
 //! thread of control (an application writer, `nfs_flushd`, a server service
 //! loop, a disk) is an async task, and blocking kernel behaviour maps onto
 //! `await` points.
+//!
+//! # Hot path
+//!
+//! Two structures sit under every simulated event and are built for the
+//! single-threaded case:
+//!
+//! - the ready queue is a plain `VecDeque` behind an [`std::cell::UnsafeCell`]
+//!   ([`ReadyQueue`]) rather than a `Mutex` — the `Waker` contract forces
+//!   `Send + Sync`, but every waker in this executor is created and invoked
+//!   on the simulator's own thread, so the lock was pure overhead;
+//! - pending timers live in a hierarchical timer wheel
+//!   ([`crate::wheel::TimerWheel`]) instead of a binary heap: `O(1)`
+//!   registration, `O(levels)` pops, and the exact
+//!   `(deadline, registration-seq)` firing order the heap gave.
 
-use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 
+use crate::profile;
 use crate::time::{SimDuration, SimTime};
+use crate::wheel::TimerWheel;
 
 /// Identifier of a spawned task.
 pub type TaskId = usize;
@@ -33,24 +47,60 @@ type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
 /// The FIFO queue of task ids that have been woken and await polling.
 ///
-/// This is the only piece of executor state a [`Waker`] touches, and `Waker`
-/// requires `Send + Sync`, so it lives behind an `Arc<Mutex<..>>` even
-/// though the simulator itself is single-threaded.
-#[derive(Default)]
+/// This is the only piece of executor state a [`Waker`] touches, and
+/// `Waker` requires `Send + Sync`, so it must present a shared-reference
+/// API — but the simulator is single-threaded by construction: tasks are
+/// `!Send`, every waker is created during a poll on the executor thread,
+/// and [`crate::runner`] parallelizes only across whole `Sim` worlds,
+/// each confined to one worker thread. A `Mutex` here is pure overhead on
+/// the hottest path in the engine (every wake and every poll), so the
+/// queue lives in an `UnsafeCell` with the single-thread invariant
+/// asserted in debug builds.
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: UnsafeCell<VecDeque<TaskId>>,
+    /// The thread the owning `Sim` was created on; all pushes and pops
+    /// must come from it.
+    owner: std::thread::ThreadId,
+}
+
+// SAFETY: see the struct docs — all access is confined to `owner`. The
+// executor never hands wakers to other threads (no I/O, no real timers),
+// and a `Sim` cannot move threads because its core holds `Rc`s.
+unsafe impl Send for ReadyQueue {}
+unsafe impl Sync for ReadyQueue {}
+
+impl Default for ReadyQueue {
+    fn default() -> ReadyQueue {
+        ReadyQueue {
+            queue: UnsafeCell::new(VecDeque::new()),
+            owner: std::thread::current().id(),
+        }
+    }
 }
 
 impl ReadyQueue {
-    fn push(&self, id: TaskId) {
-        self.queue
-            .lock()
-            .expect("ready queue poisoned")
-            .push_back(id);
+    #[inline]
+    fn assert_owner(&self) {
+        debug_assert_eq!(
+            std::thread::current().id(),
+            self.owner,
+            "Sim used from a thread other than the one that created it"
+        );
     }
 
+    #[inline]
+    fn push(&self, id: TaskId) {
+        self.assert_owner();
+        // SAFETY: single-threaded access (asserted above); no reentrant
+        // borrow — push/pop never call back into the queue.
+        unsafe { (*self.queue.get()).push_back(id) };
+    }
+
+    #[inline]
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().expect("ready queue poisoned").pop_front()
+        self.assert_owner();
+        // SAFETY: as in `push`.
+        unsafe { (*self.queue.get()).pop_front() }
     }
 }
 
@@ -70,31 +120,6 @@ impl Wake for TaskWaker {
     }
 }
 
-/// A timer waiting to fire: ordered by `(deadline, seq)` so that equal
-/// deadlines fire in registration order.
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
-}
-
 /// A slot in the task table.
 struct TaskSlot {
     future: Option<LocalFuture>,
@@ -103,12 +128,38 @@ struct TaskSlot {
 struct SimCore {
     now: Cell<SimTime>,
     timer_seq: Cell<u64>,
-    timers: RefCell<BinaryHeap<Reverse<TimerEntry>>>,
+    timers: RefCell<TimerWheel<Waker>>,
     tasks: RefCell<Vec<Option<TaskSlot>>>,
     free_slots: RefCell<Vec<TaskId>>,
     ready: Arc<ReadyQueue>,
     /// Count of tasks currently being polled; used to catch re-entrancy.
     polling: Cell<usize>,
+    /// Retired events (task polls + timer fires); feeds the
+    /// micro-profiler's events/sec metric.
+    events: Cell<u64>,
+    /// Events already credited to the thread-local profiler tally.
+    events_credited: Cell<u64>,
+}
+
+impl SimCore {
+    /// Credits events retired since the last flush to the thread running
+    /// this world, so the sweep runner can report per-cell events/sec
+    /// without threading a counter through every experiment. Called when
+    /// `run_until` returns — worlds whose daemon tasks hold `Rc` cycles
+    /// back to the core may never drop, so crediting cannot wait for
+    /// `Drop` alone.
+    fn flush_events_to_profiler(&self) {
+        let total = self.events.get();
+        profile::note_sim_events(total - self.events_credited.get());
+        self.events_credited.set(total);
+    }
+}
+
+impl Drop for SimCore {
+    fn drop(&mut self) {
+        // Backstop for events retired outside any `run_until` call.
+        self.flush_events_to_profiler();
+    }
 }
 
 /// Handle to the simulator; cheap to clone and share between tasks.
@@ -146,11 +197,13 @@ impl Sim {
             core: Rc::new(SimCore {
                 now: Cell::new(SimTime::ZERO),
                 timer_seq: Cell::new(0),
-                timers: RefCell::new(BinaryHeap::new()),
+                timers: RefCell::new(TimerWheel::new()),
                 tasks: RefCell::new(Vec::new()),
                 free_slots: RefCell::new(Vec::new()),
                 ready: Arc::new(ReadyQueue::default()),
                 polling: Cell::new(0),
+                events: Cell::new(0),
+                events_credited: Cell::new(0),
             }),
         }
     }
@@ -167,11 +220,10 @@ impl Sim {
     pub fn register_timer(&self, deadline: SimTime, waker: Waker) {
         let seq = self.core.timer_seq.get();
         self.core.timer_seq.set(seq + 1);
-        self.core.timers.borrow_mut().push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        }));
+        self.core
+            .timers
+            .borrow_mut()
+            .push(deadline.as_nanos(), seq, waker);
     }
 
     /// Returns a future that completes after `dur` of simulated time.
@@ -252,6 +304,7 @@ impl Sim {
         loop {
             self.drain_ready();
             if let Some(out) = handle.try_take() {
+                self.core.flush_events_to_profiler();
                 return out;
             }
             if !self.fire_next_timer() {
@@ -276,19 +329,21 @@ impl Sim {
     /// Returns `false` if no timers are pending.
     fn fire_next_timer(&self) -> bool {
         let entry = match self.core.timers.borrow_mut().pop() {
-            Some(Reverse(e)) => e,
+            Some(e) => e,
             None => return false,
         };
+        let deadline = SimTime(entry.deadline);
         debug_assert!(
-            entry.deadline >= self.now(),
+            deadline >= self.now(),
             "timer in the past: {} < {}",
-            entry.deadline,
+            deadline,
             self.now()
         );
-        if entry.deadline > self.now() {
-            self.core.now.set(entry.deadline);
+        if deadline > self.now() {
+            self.core.now.set(deadline);
         }
-        entry.waker.wake();
+        self.core.events.set(self.core.events.get() + 1);
+        entry.payload.wake();
         true
     }
 
@@ -313,6 +368,7 @@ impl Sim {
         }));
         let mut cx = Context::from_waker(&waker);
         self.core.polling.set(self.core.polling.get() + 1);
+        self.core.events.set(self.core.events.get() + 1);
         let mut fut = fut;
         let poll = fut.as_mut().poll(&mut cx);
         self.core.polling.set(self.core.polling.get() - 1);
@@ -329,6 +385,12 @@ impl Sim {
                 }
             }
         }
+    }
+
+    /// Events retired so far: task polls plus timer fires. The
+    /// micro-profiler divides this by wall-clock for events/sec.
+    pub fn events(&self) -> u64 {
+        self.core.events.get()
     }
 
     /// Number of live (spawned, unfinished) tasks. Mostly for tests.

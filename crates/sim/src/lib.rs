@@ -27,15 +27,23 @@
 
 pub mod executor;
 pub mod metrics;
+pub mod profile;
 pub mod proptest;
 pub mod rng;
+pub mod runner;
 pub mod select;
 pub mod sync;
 pub mod time;
+pub mod wheel;
 
 pub use executor::{yield_now, JoinHandle, Sim, Sleep, TaskId, YieldNow};
-pub use metrics::{mbps, mean, percentile, ByteMeter, Counter, Histogram, ProfileRow, Profiler, Trace};
+pub use metrics::{
+    mbps, mean, percentile, ByteMeter, Counter, Histogram, LatencyDigest, ProfileRow, Profiler,
+    Trace,
+};
+pub use profile::{BenchReport, CellStats, SweepStats};
 pub use rng::SimRng;
+pub use runner::{default_jobs, run_cells, run_cells_profiled, Cell};
 pub use select::{select2, Either};
 pub use sync::{
     channel, Gate, LockGuard, LockStats, Receiver, SemPermit, Semaphore, Sender, SimLock,

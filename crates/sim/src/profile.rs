@@ -1,0 +1,277 @@
+//! In-tree micro-profiler for the sweep harness.
+//!
+//! The simulator is deterministic, but the harness around it is not —
+//! wall-clock per cell and simulated-events-per-second are real-time
+//! measurements of how fast the *measurement machinery* runs. This
+//! module collects them without touching any experiment signature:
+//!
+//! - every [`crate::Sim`] adds its retired event count to a thread-local
+//!   tally when `run_until` returns (and again at core drop, for any
+//!   stragglers);
+//! - [`crate::runner`] brackets each cell with [`take_thread_events`]
+//!   and an [`std::time::Instant`], producing one [`CellStats`] per
+//!   cell;
+//! - [`BenchReport`] aggregates cells into per-sweep rows and renders
+//!   `results/bench.json` (hand-rolled JSON — the workspace is
+//!   hermetic, so no serde).
+//!
+//! None of these numbers feed back into any simulation result: CSVs
+//! stay bit-identical whether or not profiling is read.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+thread_local! {
+    /// Simulator events retired on this thread since the last
+    /// [`take_thread_events`] call.
+    static THREAD_EVENTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Credits `n` simulator events to the current thread's tally. Called
+/// by the executor when `run_until` returns and when a `Sim` world is
+/// torn down.
+pub fn note_sim_events(n: u64) {
+    THREAD_EVENTS.with(|c| c.set(c.get() + n));
+}
+
+/// Returns and resets the current thread's event tally.
+pub fn take_thread_events() -> u64 {
+    THREAD_EVENTS.with(|c| c.replace(0))
+}
+
+/// Wall-clock and simulated-event cost of one executed sweep cell.
+#[derive(Debug, Clone)]
+pub struct CellStats {
+    /// The cell's label (for reports; not part of any CSV).
+    pub label: String,
+    /// Real time the cell took.
+    pub wall: Duration,
+    /// Simulator events (task polls + timer fires) the cell retired.
+    pub events: u64,
+}
+
+impl CellStats {
+    /// Simulated events per wall-clock second (0 for an instant cell).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One benchmarked sweep: total wall-clock, events, and the jobs count
+/// it ran under.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Sweep name (`fleet`, `qos`, ...).
+    pub name: String,
+    /// Worker threads the sweep ran with.
+    pub jobs: usize,
+    /// Number of cells executed.
+    pub cells: usize,
+    /// End-to-end wall-clock for the sweep.
+    pub wall: Duration,
+    /// Total simulator events across all cells.
+    pub events: u64,
+}
+
+impl SweepStats {
+    /// Aggregates per-cell stats into one sweep row.
+    ///
+    /// `wall` is the end-to-end time (with parallelism it is less than
+    /// the sum of the cells').
+    pub fn from_cells(name: &str, jobs: usize, wall: Duration, cells: &[CellStats]) -> SweepStats {
+        SweepStats {
+            name: name.to_owned(),
+            jobs,
+            cells: cells.len(),
+            wall,
+            events: cells.iter().map(|c| c.events).sum(),
+        }
+    }
+
+    /// Simulated events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A full benchmark run: the rows behind `results/bench.json`.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// One row per (sweep, jobs) measurement, in run order.
+    pub sweeps: Vec<SweepStats>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    pub fn new() -> BenchReport {
+        BenchReport::default()
+    }
+
+    /// Appends one measured sweep.
+    pub fn push(&mut self, s: SweepStats) {
+        self.sweeps.push(s);
+    }
+
+    /// The wall-clock speedup of `name` at `jobs` over the same sweep's
+    /// `jobs = 1` row, if both were measured.
+    pub fn speedup(&self, name: &str, jobs: usize) -> Option<f64> {
+        let serial = self
+            .sweeps
+            .iter()
+            .find(|s| s.name == name && s.jobs == 1)?;
+        let parallel = self.sweeps.iter().find(|s| s.name == name && s.jobs == jobs)?;
+        let p = parallel.wall.as_secs_f64();
+        (p > 0.0).then(|| serial.wall.as_secs_f64() / p)
+    }
+
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"sweeps\": [\n");
+        for (i, s) in self.sweeps.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"jobs\": {}, \"cells\": {}, \
+                 \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}}}",
+                json_escape(&s.name),
+                s.jobs,
+                s.cells,
+                s.wall.as_secs_f64(),
+                s.events,
+                s.events_per_sec(),
+            );
+            out.push_str(if i + 1 < self.sweeps.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON to `path`.
+    pub fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// An aligned plain-text table of the rows for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "sweep        jobs  cells   wall (s)      events    events/s\n",
+        );
+        for s in &self.sweeps {
+            let _ = writeln!(
+                out,
+                "{:<12} {:>4} {:>6} {:>10.3} {:>11} {:>11.0}",
+                s.name,
+                s.jobs,
+                s.cells,
+                s.wall.as_secs_f64(),
+                s.events,
+                s.events_per_sec(),
+            );
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_tally_accumulates_and_resets() {
+        let _ = take_thread_events();
+        note_sim_events(10);
+        note_sim_events(5);
+        assert_eq!(take_thread_events(), 15);
+        assert_eq!(take_thread_events(), 0);
+    }
+
+    #[test]
+    fn sim_runs_feed_the_tally() {
+        use crate::{Sim, SimDuration};
+        let _ = take_thread_events();
+        {
+            let sim = Sim::new();
+            let s = sim.clone();
+            sim.run_until(async move {
+                s.sleep(SimDuration::from_micros(3)).await;
+            });
+        }
+        assert!(take_thread_events() > 0, "a run retires events");
+    }
+
+    #[test]
+    fn events_per_sec_handles_zero_wall() {
+        let c = CellStats {
+            label: "x".into(),
+            wall: Duration::ZERO,
+            events: 100,
+        };
+        assert_eq!(c.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn report_json_shape_and_speedup() {
+        let mut r = BenchReport::new();
+        let cells = [
+            CellStats {
+                label: "a".into(),
+                wall: Duration::from_millis(10),
+                events: 1000,
+            },
+            CellStats {
+                label: "b".into(),
+                wall: Duration::from_millis(30),
+                events: 3000,
+            },
+        ];
+        r.push(SweepStats::from_cells(
+            "fleet",
+            1,
+            Duration::from_millis(40),
+            &cells,
+        ));
+        r.push(SweepStats::from_cells(
+            "fleet",
+            4,
+            Duration::from_millis(10),
+            &cells,
+        ));
+        let json = r.to_json();
+        assert!(json.contains("\"name\": \"fleet\""));
+        assert!(json.contains("\"jobs\": 4"));
+        assert!(json.contains("\"events\": 4000"));
+        let speedup = r.speedup("fleet", 4).unwrap();
+        assert!((speedup - 4.0).abs() < 1e-9, "speedup = {speedup}");
+        assert!(r.speedup("qos", 4).is_none());
+        assert!(r.render().contains("fleet"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+}

@@ -1,0 +1,234 @@
+//! Parallel deterministic sweep runner.
+//!
+//! Every experiment in this workspace is a *sweep*: a list of mutually
+//! independent cells, each of which builds its own isolated [`crate::Sim`]
+//! world, runs it to completion, and reduces it to a row of plain data.
+//! Cells share nothing — no simulator, no RNG, no task state — so the
+//! only ordering that matters is the order results are *collected* in.
+//!
+//! [`run_cells`] exploits that: a scoped-thread pool (hermetic
+//! `std::thread::scope`, no external executor) pulls cells off a shared
+//! work-list by index and writes each result back into the slot with
+//! the same index. Collection order is therefore the work-list order
+//! regardless of worker count or OS scheduling, and the CSV a sweep
+//! renders is **bit-identical to the serial run** at any `--jobs`
+//! value. Parallelism exists only *across* whole simulated worlds,
+//! never within one; each `Sim` stays single-threaded and `!Send`,
+//! constructed and dropped entirely inside its worker.
+//!
+//! The pool also brackets every cell with the micro-profiler
+//! ([`crate::profile`]): per-cell wall-clock and simulated-event counts
+//! come back as [`CellStats`] for `nfsperf bench` and
+//! `results/bench.json`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::profile::{self, CellStats};
+
+/// One unit of sweep work: a label (for profiling reports) plus the
+/// closure that builds, runs, and reduces an isolated simulation.
+pub struct Cell<T> {
+    /// Human-readable cell name, e.g. `fleet/filer/udp/c8`.
+    pub label: String,
+    run: Box<dyn FnOnce() -> T + Send>,
+}
+
+impl<T> Cell<T> {
+    /// Creates a cell.
+    pub fn new(label: impl Into<String>, run: impl FnOnce() -> T + Send + 'static) -> Cell<T> {
+        Cell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+}
+
+/// Reads the default worker count: `NFSPERF_JOBS` if set and positive,
+/// else the machine's available parallelism, else 1.
+pub fn default_jobs() -> usize {
+    if let Ok(v) = std::env::var("NFSPERF_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs every cell and returns the results in work-list order,
+/// discarding profiling data. See [`run_cells_profiled`].
+pub fn run_cells<T: Send>(jobs: usize, cells: Vec<Cell<T>>) -> Vec<T> {
+    run_cells_profiled(jobs, cells).0
+}
+
+/// Runs every cell on up to `jobs` worker threads and returns
+/// `(results, per-cell stats)`, both in work-list order.
+///
+/// With `jobs <= 1` (or one cell) everything runs on the calling
+/// thread, in order — the serial baseline. Results are identical
+/// either way; only the wall-clock in the stats differs.
+///
+/// # Panics
+///
+/// A panicking cell propagates: the pool finishes joining and then
+/// re-panics on the calling thread (via `std::thread::scope`).
+pub fn run_cells_profiled<T: Send>(jobs: usize, cells: Vec<Cell<T>>) -> (Vec<T>, Vec<CellStats>) {
+    let n = cells.len();
+    if jobs <= 1 || n <= 1 {
+        let mut results = Vec::with_capacity(n);
+        let mut stats = Vec::with_capacity(n);
+        for cell in cells {
+            let (result, stat) = run_one(cell);
+            results.push(result);
+            stats.push(stat);
+        }
+        return (results, stats);
+    }
+
+    let work: Vec<Mutex<Option<Cell<T>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let done: Vec<Mutex<Option<(T, CellStats)>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = work[i]
+                    .lock()
+                    .expect("cell slot poisoned")
+                    .take()
+                    .expect("cell claimed twice");
+                let out = run_one(cell);
+                *done[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(n);
+    let mut stats = Vec::with_capacity(n);
+    for slot in done {
+        let (result, stat) = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("worker exited without storing a result");
+        results.push(result);
+        stats.push(stat);
+    }
+    (results, stats)
+}
+
+fn run_one<T>(cell: Cell<T>) -> (T, CellStats) {
+    let label = cell.label;
+    let _ = profile::take_thread_events();
+    let start = Instant::now();
+    let result = (cell.run)();
+    let wall = start.elapsed();
+    let events = profile::take_thread_events();
+    (
+        result,
+        CellStats {
+            label,
+            wall,
+            events,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sim, SimDuration};
+
+    /// A miniature "sweep cell": its own Sim world reduced to a number.
+    fn sim_cell(idx: u64) -> u64 {
+        let sim = Sim::new();
+        let s = sim.clone();
+        sim.run_until(async move {
+            for _ in 0..idx + 1 {
+                s.sleep(SimDuration::from_micros(idx + 1)).await;
+            }
+            s.now().as_nanos() + idx
+        })
+    }
+
+    #[test]
+    fn serial_runs_in_order() {
+        let cells: Vec<Cell<u64>> = (0..5)
+            .map(|i| Cell::new(format!("c{i}"), move || sim_cell(i)))
+            .collect();
+        let serial = run_cells(1, cells);
+        assert_eq!(serial.len(), 5);
+        for (i, v) in serial.iter().enumerate() {
+            assert_eq!(*v, sim_cell(i as u64));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let make = || -> Vec<Cell<u64>> {
+            (0..16)
+                .map(|i| Cell::new(format!("c{i}"), move || sim_cell(i)))
+                .collect()
+        };
+        let serial = run_cells(1, make());
+        for jobs in [2, 4, 8, 32] {
+            assert_eq!(run_cells(jobs, make()), serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn more_jobs_than_cells_is_fine() {
+        let cells = vec![Cell::new("only", || 42u32)];
+        assert_eq!(run_cells(16, cells), vec![42]);
+    }
+
+    #[test]
+    fn empty_worklist_returns_empty() {
+        let cells: Vec<Cell<u32>> = Vec::new();
+        assert!(run_cells(4, cells).is_empty());
+    }
+
+    #[test]
+    fn profiled_run_reports_labels_and_events() {
+        let cells: Vec<Cell<u64>> = (0..3)
+            .map(|i| Cell::new(format!("cell-{i}"), move || sim_cell(i)))
+            .collect();
+        let (results, stats) = run_cells_profiled(2, cells);
+        assert_eq!(results.len(), 3);
+        assert_eq!(stats.len(), 3);
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.label, format!("cell-{i}"));
+            assert!(s.events > 0, "cell {i} retired no events");
+        }
+    }
+
+    // `std::thread::scope` re-panics with its own payload, so no
+    // `expected =` here — the contract is only that the panic escapes.
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let cells: Vec<Cell<u32>> = (0..4)
+            .map(|i| {
+                Cell::new(format!("c{i}"), move || {
+                    if i == 2 {
+                        panic!("cell exploded");
+                    }
+                    i
+                })
+            })
+            .collect();
+        let _ = run_cells(2, cells);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -15,7 +15,7 @@ fn main() {
     } else {
         figures::paper_file_sizes()
     };
-    let sweep = figures::figure1(&sizes);
+    let sweep = figures::figure1(&sizes, nfsperf_sim::default_jobs());
     let path = std::path::Path::new("results/figure1.csv");
     sweep.write_csv(path).expect("write csv");
     println!("Figure 1 - Local v. NFS write throughput (stock 2.4.4 client)");

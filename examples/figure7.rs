@@ -15,7 +15,7 @@ fn main() {
     } else {
         figures::paper_file_sizes()
     };
-    let sweep = figures::figure7(&sizes);
+    let sweep = figures::figure7(&sizes, nfsperf_sim::default_jobs());
     let path = std::path::Path::new("results/figure7.csv");
     sweep.write_csv(path).expect("write csv");
     println!("Figure 7 - Local v. NFS write throughput (enhanced client)");

@@ -9,6 +9,9 @@
 //! ```sh
 //! cargo run --release --example fleet_sweep [-- --quick]
 //! ```
+//!
+//! Cells fan out over `NFSPERF_JOBS` worker threads (default: the
+//! machine's parallelism); the CSV is bit-identical at any value.
 
 use nfsperf_experiments as exp;
 use nfsperf_sunrpc::Transport;
@@ -27,6 +30,7 @@ fn main() {
         &[exp::ServerKind::Filer, exp::ServerKind::Knfsd],
         &[Transport::Udp, Transport::Tcp],
         bytes_per_client,
+        nfsperf_sim::default_jobs(),
     );
     println!("{}", sweep.render());
 

@@ -1,13 +1,29 @@
 //! Regenerates every table and figure, writing CSVs under `results/`.
 //!
 //! ```sh
-//! cargo run --release --example run_all [--quick]
+//! cargo run --release --example run_all [--quick] [--jobs N]
 //! ```
+//!
+//! The exhibits are mutually independent simulated worlds, so they fan
+//! out across `--jobs` worker threads (default: `NFSPERF_JOBS`, else the
+//! machine's parallelism) through [`nfsperf_sim::runner`]; each exhibit
+//! runs its inner sweep serially so the pool never nests. Every CSV is
+//! bit-identical at any jobs count. Total wall-clock is appended to
+//! `results/run_all.log`.
 
 use nfsperf_experiments::figures;
+use nfsperf_sim::runner;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(runner::default_jobs);
     let sizes = if quick {
         figures::quick_file_sizes()
     } else {
@@ -15,42 +31,67 @@ fn main() {
     };
     std::fs::create_dir_all("results").expect("mkdir results");
 
-    eprintln!("figure 1 ...");
-    figures::figure1(&sizes)
-        .write_csv(std::path::Path::new("results/figure1.csv"))
-        .unwrap();
-    eprintln!("figure 2 ...");
-    std::fs::write("results/figure2.csv", figures::figure2().to_csv()).unwrap();
-    eprintln!("figure 3 ...");
-    std::fs::write("results/figure3.csv", figures::figure3().to_csv()).unwrap();
-    eprintln!("figure 4 ...");
-    std::fs::write("results/figure4.csv", figures::figure4().to_csv()).unwrap();
-    eprintln!("figures 5/6 ...");
-    std::fs::write("results/figure5.csv", figures::figure5().to_csv()).unwrap();
-    std::fs::write("results/figure6.csv", figures::figure6().to_csv()).unwrap();
-    eprintln!("table 1 ...");
-    let t = figures::table1();
-    std::fs::write(
-        "results/table1.csv",
-        format!(
-            "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
-            t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
-        ),
-    )
-    .unwrap();
-    eprintln!("figure 7 ...");
-    figures::figure7(&sizes)
-        .write_csv(std::path::Path::new("results/figure7.csv"))
-        .unwrap();
-    eprintln!("slow-server comparison ...");
-    let cmp = figures::slow_server_comparison();
-    std::fs::write(
-        "results/slow_server.csv",
-        format!(
-            "server,write_mbps\nnetapp-filer,{:.1}\nlinux-nfs-server,{:.1}\nslow-100bt,{:.1}\n",
-            cmp.filer_mbps, cmp.knfsd_mbps, cmp.slow_mbps
-        ),
-    )
-    .unwrap();
+    let s1 = sizes.clone();
+    let s7 = sizes.clone();
+    let cells: Vec<runner::Cell<(&'static str, String)>> = vec![
+        runner::Cell::new("run_all/figure1", move || {
+            ("figure1.csv", figures::figure1(&s1, 1).to_csv())
+        }),
+        runner::Cell::new("run_all/figure2", || {
+            ("figure2.csv", figures::figure2().to_csv())
+        }),
+        runner::Cell::new("run_all/figure3", || {
+            ("figure3.csv", figures::figure3().to_csv())
+        }),
+        runner::Cell::new("run_all/figure4", || {
+            ("figure4.csv", figures::figure4().to_csv())
+        }),
+        runner::Cell::new("run_all/figure5", || {
+            ("figure5.csv", figures::figure5().to_csv())
+        }),
+        runner::Cell::new("run_all/figure6", || {
+            ("figure6.csv", figures::figure6().to_csv())
+        }),
+        runner::Cell::new("run_all/table1", || {
+            let t = figures::table1();
+            (
+                "table1.csv",
+                format!(
+                    "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
+                    t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
+                ),
+            )
+        }),
+        runner::Cell::new("run_all/figure7", move || {
+            ("figure7.csv", figures::figure7(&s7, 1).to_csv())
+        }),
+        runner::Cell::new("run_all/slow_server", || {
+            let cmp = figures::slow_server_comparison();
+            (
+                "slow_server.csv",
+                format!(
+                    "server,write_mbps\nnetapp-filer,{:.1}\nlinux-nfs-server,{:.1}\nslow-100bt,{:.1}\n",
+                    cmp.filer_mbps, cmp.knfsd_mbps, cmp.slow_mbps
+                ),
+            )
+        }),
+    ];
+
+    eprintln!("{} exhibits on {} worker(s) ...", cells.len(), jobs);
+    let start = std::time::Instant::now();
+    let outputs = runner::run_cells(jobs, cells);
+    let wall = start.elapsed();
+    for (name, body) in outputs {
+        std::fs::write(format!("results/{name}"), body).unwrap();
+    }
+    let log = format!(
+        "run_all: {} exhibits, jobs={}, wall={:.3}s, quick={}\n",
+        9,
+        jobs,
+        wall.as_secs_f64(),
+        quick
+    );
+    std::fs::write("results/run_all.log", &log).expect("write results/run_all.log");
+    print!("{log}");
     println!("all results written under results/");
 }

@@ -20,7 +20,7 @@ fn main() {
         "== transport x loss sweep ({} MB sequential write, filer server) ==",
         size >> 20
     );
-    let sweep = exp::transport_sweep(size, exp::LOSS_RATES);
+    let sweep = exp::transport_sweep(size, exp::LOSS_RATES, nfsperf_sim::default_jobs());
     println!("{}", sweep.render());
 
     let udp = sweep.cell("udp", 0.01).unwrap();

@@ -43,9 +43,13 @@ echo "$out" | awk '
         if (!seen) { print "FAIL: no throughput line in TCP quickstart output"; exit 1 }
     }'
 
-echo "==> fleet smoke run (small N)"
-out="$(cargo run -q --release --offline --bin nfsperf -- fleet --quick --out results/fleet-quick.csv)"
+echo "==> fleet smoke run (small N, --jobs 4 vs --jobs 1 bit-identical)"
+out="$(cargo run -q --release --offline --bin nfsperf -- fleet --quick --jobs 4 --out results/fleet-quick.csv)"
 echo "$out"
+cargo run -q --release --offline --bin nfsperf -- fleet --quick --jobs 1 --out results/fleet-quick-serial.csv > /dev/null
+cmp results/fleet-quick.csv results/fleet-quick-serial.csv \
+    || { echo "FAIL: fleet sweep differs between --jobs 4 and --jobs 1"; exit 1; }
+rm -f results/fleet-quick-serial.csv
 # Every data row ends in a Jain index; fairness must hold even at small N.
 awk -F, 'NR > 1 {
         rows++
@@ -56,12 +60,12 @@ awk -F, 'NR > 1 {
         if (rows == 0) { print "FAIL: empty fleet-quick.csv"; exit 1 }
     }' results/fleet-quick.csv
 
-echo "==> qos smoke run (quick, twice, bit-identical)"
-out="$(cargo run -q --release --offline --bin nfsperf -- qos --quick --out results/qos-quick.csv)"
+echo "==> qos smoke run (quick, --jobs 4 vs --jobs 1 bit-identical)"
+out="$(cargo run -q --release --offline --bin nfsperf -- qos --quick --jobs 4 --out results/qos-quick.csv)"
 echo "$out"
-cargo run -q --release --offline --bin nfsperf -- qos --quick --out results/qos-quick-2.csv > /dev/null
+cargo run -q --release --offline --bin nfsperf -- qos --quick --jobs 1 --out results/qos-quick-2.csv > /dev/null
 cmp results/qos-quick.csv results/qos-quick-2.csv \
-    || { echo "FAIL: qos sweep is not bit-deterministic"; exit 1; }
+    || { echo "FAIL: qos sweep differs between --jobs 4 and --jobs 1"; exit 1; }
 rm -f results/qos-quick-2.csv
 # FIFO must show the hog starving victims; DRR rows must restore fairness.
 awk -F, 'NR > 1 {
@@ -72,6 +76,16 @@ awk -F, 'NR > 1 {
     END {
         if (rows == 0) { print "FAIL: empty qos-quick.csv"; exit 1 }
     }' results/qos-quick.csv
+
+echo "==> harness micro-benchmark (results/bench.json)"
+out="$(cargo run -q --release --offline --bin nfsperf -- bench --jobs 4 --out results/bench.json)"
+echo "$out"
+grep -q '"sweeps"' results/bench.json || { echo "FAIL: malformed bench.json"; exit 1; }
+# Every measured sweep must have retired simulated events.
+if grep -q '"events": 0,' results/bench.json; then
+    echo "FAIL: a bench sweep retired zero events"
+    exit 1
+fi
 
 echo "==> no external dependencies"
 if grep -rn "^rand\|^proptest\|^criterion" Cargo.toml crates/*/Cargo.toml; then

@@ -2,14 +2,19 @@
 //!
 //! ```text
 //! nfsperf run --tuning full-patch --server filer --size-mb 100 [options]
-//! nfsperf figures [--quick] [--out DIR]
+//! nfsperf figures [--quick] [--out DIR] [--jobs N]
 //! nfsperf table1
 //! nfsperf concurrency
-//! nfsperf transport [--quick]
-//! nfsperf fleet [--quick] [--out FILE]
-//! nfsperf qos [--quick] [--out FILE]
+//! nfsperf transport [--quick] [--jobs N]
+//! nfsperf fleet [--quick] [--out FILE] [--jobs N]
+//! nfsperf qos [--quick] [--out FILE] [--jobs N]
+//! nfsperf bench [--jobs N] [--out FILE]
 //! nfsperf help
 //! ```
+//!
+//! Sweep commands fan their independent cells across `--jobs` worker
+//! threads (default: `NFSPERF_JOBS`, else the machine's parallelism) via
+//! [`nfsperf_sim::runner`]; output is bit-identical at any jobs count.
 //!
 //! Argument parsing is deliberately hand rolled: the workspace has no
 //! CLI-framework dependency and the grammar is tiny.
@@ -18,11 +23,11 @@ use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{
-    figures, fleet_sweep, qos_sweep, run_bonnie, transport_sweep, Scenario, ServerKind,
-    FLEET_CLIENT_COUNTS, LOSS_RATES,
+    figures, fleet_cells, fleet_sweep, qos_cells, qos_sweep, run_bonnie, transport_cells,
+    transport_sweep, Scenario, ServerKind, FLEET_CLIENT_COUNTS, LOSS_RATES,
 };
 use nfsperf_server::SchedPolicy;
-use nfsperf_sim::SimDuration;
+use nfsperf_sim::{runner, BenchReport, SimDuration, SweepStats};
 use nfsperf_sunrpc::Transport;
 
 fn usage() -> &'static str {
@@ -32,12 +37,13 @@ USAGE:
     nfsperf run [--tuning T] [--server S] [--size-mb N] [--cpus N]
                 [--ram-mb N] [--slots N] [--jumbo] [--seed N]
                 [--transport X] [--loss P] [--latencies FILE]
-    nfsperf figures [--quick] [--out DIR]
+    nfsperf figures [--quick] [--out DIR] [--jobs N]
     nfsperf table1
     nfsperf concurrency
-    nfsperf transport [--quick]
-    nfsperf fleet [--quick] [--out FILE]
-    nfsperf qos [--quick] [--out FILE]
+    nfsperf transport [--quick] [--jobs N]
+    nfsperf fleet [--quick] [--out FILE] [--jobs N]
+    nfsperf qos [--quick] [--out FILE] [--jobs N]
+    nfsperf bench [--jobs N] [--out FILE]
     nfsperf help
 
 OPTIONS (run):
@@ -65,6 +71,14 @@ COMMANDS:
                 {filer, knfsd} x {fifo, drr, classed-drr} (--quick for
                 filer only with 4 victims); writes CSV to --out
                 [results/qos.csv]
+    bench       micro-benchmark of the sweep harness itself: runs the
+                quick fleet/qos/transport sweeps serially and again at
+                --jobs, reporting wall-clock and simulated events/sec;
+                writes JSON to --out [results/bench.json]
+
+    --jobs N    worker threads for a sweep's independent cells
+                [NFSPERF_JOBS, else the machine's parallelism]; results
+                are bit-identical at any value
 "
 }
 
@@ -129,6 +143,16 @@ impl Args {
             Ok(())
         } else {
             Err(format!("unrecognised arguments: {:?}", self.items))
+        }
+    }
+
+    /// `--jobs N` if given (must be positive), else the runner default
+    /// (`NFSPERF_JOBS`, else the machine's parallelism).
+    fn jobs(&mut self) -> Result<usize, String> {
+        match self.parsed::<usize>("--jobs")? {
+            Some(0) => Err("--jobs must be at least 1".into()),
+            Some(n) => Ok(n),
+            None => Ok(runner::default_jobs()),
         }
     }
 }
@@ -230,9 +254,52 @@ fn cmd_run(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+/// The work-list behind `nfsperf figures` and `examples/run_all`: every
+/// exhibit as one cell rendering `(file name, CSV body)`. The exhibits
+/// themselves run with inner `jobs = 1` — parallelism lives at this
+/// outer level only, so the pool never nests.
+fn figure_cells(sizes: &[u64]) -> Vec<runner::Cell<(&'static str, String)>> {
+    let s1 = sizes.to_vec();
+    let s7 = sizes.to_vec();
+    vec![
+        runner::Cell::new("figures/figure1", move || {
+            ("figure1.csv", figures::figure1(&s1, 1).to_csv())
+        }),
+        runner::Cell::new("figures/figure2", || {
+            ("figure2.csv", figures::figure2().to_csv())
+        }),
+        runner::Cell::new("figures/figure3", || {
+            ("figure3.csv", figures::figure3().to_csv())
+        }),
+        runner::Cell::new("figures/figure4", || {
+            ("figure4.csv", figures::figure4().to_csv())
+        }),
+        runner::Cell::new("figures/figure5", || {
+            ("figure5.csv", figures::figure5().to_csv())
+        }),
+        runner::Cell::new("figures/figure6", || {
+            ("figure6.csv", figures::figure6().to_csv())
+        }),
+        runner::Cell::new("figures/table1", || {
+            let t = figures::table1();
+            (
+                "table1.csv",
+                format!(
+                    "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
+                    t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
+                ),
+            )
+        }),
+        runner::Cell::new("figures/figure7", move || {
+            ("figure7.csv", figures::figure7(&s7, 1).to_csv())
+        }),
+    ]
+}
+
 fn cmd_figures(mut args: Args) -> Result<(), String> {
     let quick = args.flag("--quick");
     let out_dir = args.value("--out")?.unwrap_or_else(|| "results".into());
+    let jobs = args.jobs()?;
     args.finish()?;
     let sizes = if quick {
         figures::quick_file_sizes()
@@ -241,30 +308,11 @@ fn cmd_figures(mut args: Args) -> Result<(), String> {
     };
     let dir = std::path::Path::new(&out_dir);
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let w =
-        |name: &str, body: String| std::fs::write(dir.join(name), body).map_err(|e| e.to_string());
-    eprintln!("figure 1 ...");
-    w("figure1.csv", figures::figure1(&sizes).to_csv())?;
-    eprintln!("figure 2 ...");
-    w("figure2.csv", figures::figure2().to_csv())?;
-    eprintln!("figure 3 ...");
-    w("figure3.csv", figures::figure3().to_csv())?;
-    eprintln!("figure 4 ...");
-    w("figure4.csv", figures::figure4().to_csv())?;
-    eprintln!("figures 5/6 ...");
-    w("figure5.csv", figures::figure5().to_csv())?;
-    w("figure6.csv", figures::figure6().to_csv())?;
-    eprintln!("table 1 ...");
-    let t = figures::table1();
-    w(
-        "table1.csv",
-        format!(
-            "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
-            t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
-        ),
-    )?;
-    eprintln!("figure 7 ...");
-    w("figure7.csv", figures::figure7(&sizes).to_csv())?;
+    let cells = figure_cells(&sizes);
+    eprintln!("rendering {} exhibits on {} worker(s) ...", cells.len(), jobs);
+    for (name, body) in runner::run_cells(jobs, cells) {
+        std::fs::write(dir.join(name), body).map_err(|e| e.to_string())?;
+    }
     println!("wrote figures to {out_dir}/");
     Ok(())
 }
@@ -301,13 +349,14 @@ fn cmd_concurrency(args: Args) -> Result<(), String> {
 
 fn cmd_transport(mut args: Args) -> Result<(), String> {
     let quick = args.flag("--quick");
+    let jobs = args.jobs()?;
     args.finish()?;
     let size: u64 = if quick { 2 << 20 } else { 8 << 20 };
     println!(
         "transport x loss sweep: {} MB sequential write, full patch, filer server",
         size >> 20
     );
-    let sweep = transport_sweep(size, LOSS_RATES);
+    let sweep = transport_sweep(size, LOSS_RATES, jobs);
     println!("{}", sweep.render());
     Ok(())
 }
@@ -317,6 +366,7 @@ fn cmd_fleet(mut args: Args) -> Result<(), String> {
     let out = args
         .value("--out")?
         .unwrap_or_else(|| "results/fleet.csv".into());
+    let jobs = args.jobs()?;
     args.finish()?;
     let counts: &[usize] = if quick { &[1, 2, 4] } else { FLEET_CLIENT_COUNTS };
     let bytes_per_client: u64 = if quick { 1 << 20 } else { 4 << 20 };
@@ -329,6 +379,7 @@ fn cmd_fleet(mut args: Args) -> Result<(), String> {
         &[ServerKind::Filer, ServerKind::Knfsd],
         &[Transport::Udp, Transport::Tcp],
         bytes_per_client,
+        jobs,
     );
     println!("{}", sweep.render());
     sweep
@@ -343,6 +394,7 @@ fn cmd_qos(mut args: Args) -> Result<(), String> {
     let out = args
         .value("--out")?
         .unwrap_or_else(|| "results/qos.csv".into());
+    let jobs = args.jobs()?;
     args.finish()?;
     let scheds = [
         SchedPolicy::Fifo,
@@ -360,10 +412,76 @@ fn cmd_qos(mut args: Args) -> Result<(), String> {
         victims,
         bytes >> 20
     );
-    let sweep = qos_sweep(servers, &scheds, victims, bytes);
+    let sweep = qos_sweep(servers, &scheds, victims, bytes, jobs);
     println!("{}", sweep.render());
     sweep
         .write_csv(std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Runs one sweep's work-list under the profiler and appends its row.
+fn bench_sweep<T: Send>(
+    report: &mut BenchReport,
+    name: &str,
+    jobs: usize,
+    cells: Vec<nfsperf_sim::Cell<T>>,
+) {
+    let n = cells.len();
+    eprintln!("bench: {name} x{n} cells, {jobs} worker(s) ...");
+    let start = std::time::Instant::now();
+    let (_, stats) = nfsperf_sim::run_cells_profiled(jobs, cells);
+    report.push(SweepStats::from_cells(name, jobs, start.elapsed(), &stats));
+}
+
+fn cmd_bench(mut args: Args) -> Result<(), String> {
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "results/bench.json".into());
+    let jobs = args.jobs()?;
+    args.finish()?;
+    let scheds = [
+        SchedPolicy::Fifo,
+        SchedPolicy::drr(),
+        SchedPolicy::classed_drr(),
+    ];
+    let mut report = BenchReport::new();
+    let mut job_counts = vec![1];
+    if jobs > 1 {
+        job_counts.push(jobs);
+    }
+    for &j in &job_counts {
+        bench_sweep(
+            &mut report,
+            "fleet",
+            j,
+            fleet_cells(
+                &[1, 2, 4],
+                &[ServerKind::Filer, ServerKind::Knfsd],
+                &[Transport::Udp, Transport::Tcp],
+                1 << 20,
+            ),
+        );
+        bench_sweep(
+            &mut report,
+            "qos",
+            j,
+            qos_cells(&[ServerKind::Filer], &scheds, 4, 1 << 20),
+        );
+        bench_sweep(&mut report, "transport", j, transport_cells(2 << 20, LOSS_RATES));
+    }
+    print!("{}", report.render());
+    if jobs > 1 {
+        for name in ["fleet", "qos", "transport"] {
+            if let Some(s) = report.speedup(name, jobs) {
+                println!("{name}: {s:.2}x speedup at --jobs {jobs}");
+            }
+        }
+    }
+    let path = std::path::Path::new(&out);
+    report
+        .write_json(path)
         .map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
     Ok(())
@@ -385,6 +503,7 @@ fn main() -> ExitCode {
         "transport" => cmd_transport(args),
         "fleet" => cmd_fleet(args),
         "qos" => cmd_qos(args),
+        "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
             Ok(())

@@ -12,7 +12,7 @@ fn filer_aggregate_grows_to_knee_then_ceiling_bounds() {
     // 1 MB per client keeps every run shorter than the filer's first
     // checkpoint, so the curve shows the pure fan-in shape.
     let counts = [1usize, 2, 4, 8, 16];
-    let sweep = fleet_sweep(&counts, &[ServerKind::Filer], &[Transport::Udp], MB);
+    let sweep = fleet_sweep(&counts, &[ServerKind::Filer], &[Transport::Udp], MB, 1);
     let curve = sweep.series(ServerKind::Filer, Transport::Udp);
     let knee = sweep
         .knee(ServerKind::Filer, Transport::Udp)
@@ -65,7 +65,7 @@ fn knfsd_fleet_holds_its_ceiling() {
     // the regression this guards: concurrent COMMITs re-flushing the
     // shared dirty pool made aggregate throughput *fall* as clients were
     // added.
-    let sweep = fleet_sweep(&[1, 2, 4, 8], &[ServerKind::Knfsd], &[Transport::Udp], MB);
+    let sweep = fleet_sweep(&[1, 2, 4, 8], &[ServerKind::Knfsd], &[Transport::Udp], MB, 1);
     let curve = sweep.series(ServerKind::Knfsd, Transport::Udp);
     let peak = curve.iter().map(|(_, a)| *a).fold(0.0, f64::max);
     for (clients, agg) in &curve {
@@ -98,20 +98,23 @@ fn fleet_runs_deterministically_across_transports() {
 
 #[test]
 fn fleet_csv_is_bit_identical_for_the_same_seed() {
-    let run = || {
+    // jobs = 1 vs jobs = 4: the parallel runner must reproduce the
+    // serial CSV byte for byte, not just the same seed twice.
+    let run = |jobs| {
         fleet_sweep(
             &[1, 2],
             &[ServerKind::Filer, ServerKind::Knfsd],
             &[Transport::Udp, Transport::Tcp],
             MB,
+            jobs,
         )
     };
-    let first = run();
-    let second = run();
+    let first = run(1);
+    let second = run(4);
     assert_eq!(
         first.to_csv(),
         second.to_csv(),
-        "same seed must reproduce fleet.csv byte for byte"
+        "same seed must reproduce fleet.csv byte for byte at any --jobs"
     );
 
     let dir = std::env::temp_dir().join("nfsperf-fleet-determinism");

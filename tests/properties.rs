@@ -501,3 +501,75 @@ fn single_fragment_encoding_matches_the_general_encoder() {
         },
     );
 }
+
+// ---------------------------------------------------------------------
+// Timer wheel vs the reference heap model.
+// ---------------------------------------------------------------------
+
+/// The executor's timer wheel must fire in exactly the order the old
+/// `BinaryHeap<Reverse<(deadline, seq)>>` did — smallest deadline first,
+/// ties by registration sequence — across interleaved pushes and pops at
+/// wildly mixed time scales.
+#[test]
+fn timer_wheel_matches_reference_heap_order() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    use nfsperf_sim::wheel::TimerWheel;
+
+    // Each op: (kind, raw). kind 0 = pop; 1..4 = push with a delay whose
+    // magnitude is `raw` shifted down by a generated amount, so delays
+    // span from nanoseconds to most of the u64 clock and exercise every
+    // wheel level (including cascades).
+    check(
+        "timer_wheel_matches_reference_heap_order",
+        |g| {
+            g.vec(0, 300, |g| {
+                (g.u8_in(0, 4), g.any_u64() >> g.u32_in(0, 64))
+            })
+        },
+        |ops: &Vec<(u8, u64)>| {
+            let mut wheel: TimerWheel<u64> = TimerWheel::new();
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut seq = 0u64;
+            let mut now = 0u64;
+            for &(kind, raw) in ops {
+                if kind == 0 {
+                    // Pop from both; they must agree, including on empty.
+                    match (wheel.pop(), heap.pop()) {
+                        (None, None) => {}
+                        (Some(e), Some(Reverse((deadline, s)))) => {
+                            prop_assert_eq!((e.deadline, e.seq), (deadline, s));
+                            prop_assert_eq!(e.payload, s);
+                            now = deadline;
+                        }
+                        (w, h) => {
+                            prop_assert!(
+                                false,
+                                "emptiness disagrees: wheel {:?} heap {:?}",
+                                w.map(|e| (e.deadline, e.seq)),
+                                h
+                            );
+                        }
+                    }
+                } else {
+                    // New deadlines are strictly after `now`, as in the
+                    // executor (sleeps have positive duration).
+                    let deadline = now.saturating_add(1).saturating_add(raw);
+                    wheel.push(deadline, seq, seq);
+                    heap.push(Reverse((deadline, seq)));
+                    seq += 1;
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            // Drain the rest; full order must match.
+            while let Some(Reverse((deadline, s))) = heap.pop() {
+                let e = wheel.pop().expect("wheel ran dry before the heap");
+                prop_assert_eq!((e.deadline, e.seq), (deadline, s));
+            }
+            prop_assert!(wheel.pop().is_none());
+            prop_assert!(wheel.is_empty());
+            CaseOutcome::Pass
+        },
+    );
+}

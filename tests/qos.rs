@@ -22,7 +22,7 @@ fn sweep_cells() -> (
         SchedPolicy::drr(),
         SchedPolicy::classed_drr(),
     ];
-    let sweep = qos_sweep(&[ServerKind::Filer], &scheds, 7, 2 << 20);
+    let sweep = qos_sweep(&[ServerKind::Filer], &scheds, 7, 2 << 20, 1);
     let mut rows = sweep.rows.into_iter();
     let fifo = rows.next().expect("fifo row");
     let drr = rows.next().expect("drr row");
@@ -109,8 +109,9 @@ fn hog_bytes_are_accounted_at_the_server() {
 
 #[test]
 fn qos_sweep_is_bit_deterministic() {
+    // Serial vs parallel: the CSV must not depend on --jobs.
     let scheds = [SchedPolicy::Fifo, SchedPolicy::classed_drr()];
-    let a = qos_sweep(&[ServerKind::Filer], &scheds, 4, 1 << 20);
-    let b = qos_sweep(&[ServerKind::Filer], &scheds, 4, 1 << 20);
+    let a = qos_sweep(&[ServerKind::Filer], &scheds, 4, 1 << 20, 1);
+    let b = qos_sweep(&[ServerKind::Filer], &scheds, 4, 1 << 20, 4);
     assert_eq!(a.to_csv(), b.to_csv(), "qos CSV must be bit-identical");
 }

@@ -70,8 +70,9 @@ fn tcp_beats_udp_at_five_percent_loss() {
 /// function of the scenario, bit-identical across runs.
 #[test]
 fn tcp_loss_sweep_is_bit_identical_across_runs() {
-    let a = transport_sweep(1 << 20, &[0.01, 0.05]);
-    let b = transport_sweep(1 << 20, &[0.01, 0.05]);
+    // Serial vs parallel: rows must not depend on --jobs either.
+    let a = transport_sweep(1 << 20, &[0.01, 0.05], 1);
+    let b = transport_sweep(1 << 20, &[0.01, 0.05], 4);
     assert_eq!(a.rows.len(), b.rows.len());
     for (ra, rb) in a.rows.iter().zip(&b.rows) {
         assert_eq!(ra.label, rb.label);
