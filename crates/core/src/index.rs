@@ -150,6 +150,15 @@ impl RequestIndex {
         self.list.iter()
     }
 
+    /// Iterates requests with `page_index >= from` in page order. The
+    /// starting position is found by binary search; this is a host-CPU
+    /// shortcut only — simulated scan costs are charged by the caller
+    /// independently of how the iteration is implemented.
+    pub fn iter_from(&self, from: u64) -> impl Iterator<Item = &Rc<NfsPageReq>> {
+        let start = self.list.partition_point(|r| r.page_index < from);
+        self.list[start..].iter()
+    }
+
     /// Returns `true` if the hash table is active.
     pub fn has_hash(&self) -> bool {
         self.hash.is_some()

@@ -18,6 +18,14 @@ pub struct NfsInode {
     /// Outstanding request index (list and/or hash).
     pub index: RefCell<RequestIndex>,
     dirty: Cell<usize>,
+    /// No request with `page_index` below this is in `Dirty` state.
+    ///
+    /// Pure host-CPU hint: dirty scans start here instead of walking the
+    /// leading writeback/unstable entries every call. Lowered whenever a
+    /// request (re)enters `Dirty`, raised only once a scan has proven the
+    /// prefix clean. Never affects which requests a scan returns, so
+    /// simulation output is unchanged.
+    dirty_floor: Cell<u64>,
     writeback: Cell<usize>,
     unstable: Cell<usize>,
     unstable_bytes: Cell<u64>,
@@ -36,6 +44,7 @@ impl NfsInode {
             fh,
             index: RefCell::new(RequestIndex::new(kind)),
             dirty: Cell::new(0),
+            dirty_floor: Cell::new(0),
             writeback: Cell::new(0),
             unstable: Cell::new(0),
             unstable_bytes: Cell::new(0),
@@ -71,9 +80,18 @@ impl NfsInode {
         self.unstable_bytes.get()
     }
 
-    /// Records a brand-new dirty request.
-    pub fn note_created(&self) {
+    /// Records a brand-new dirty request at `page_index`.
+    pub fn note_created(&self, page_index: u64) {
         self.dirty.set(self.dirty.get() + 1);
+        self.lower_dirty_floor(page_index);
+    }
+
+    /// A request at `page_index` (re)entered `Dirty`: the scan floor may
+    /// no longer skip past it.
+    fn lower_dirty_floor(&self, page_index: u64) {
+        if page_index < self.dirty_floor.get() {
+            self.dirty_floor.set(page_index);
+        }
     }
 
     /// Observed file size (local view).
@@ -100,7 +118,7 @@ impl NfsInode {
         let index = self.index.borrow();
         let mut batches: Vec<Vec<Rc<NfsPageReq>>> = Vec::new();
         let mut run: Vec<Rc<NfsPageReq>> = Vec::new();
-        for req in index.iter() {
+        for req in index.iter_from(self.dirty_floor.get()) {
             if req.state() != ReqState::Dirty {
                 continue;
             }
@@ -115,6 +133,13 @@ impl NfsInode {
                 batches.push(std::mem::take(&mut run));
             }
         }
+        // Everything dirty up to the leftover partial run (if any) is
+        // about to become writeback.
+        self.dirty_floor.set(if only_full {
+            run.first().map_or(u64::MAX, |r| r.page_index)
+        } else {
+            u64::MAX
+        });
         if !run.is_empty() && !only_full {
             batches.push(run);
         }
@@ -135,7 +160,7 @@ impl NfsInode {
     pub fn take_first_dirty_batch(&self, wsize_pages: usize) -> Option<Vec<Rc<NfsPageReq>>> {
         let index = self.index.borrow();
         let mut run: Vec<Rc<NfsPageReq>> = Vec::new();
-        for req in index.iter() {
+        for req in index.iter_from(self.dirty_floor.get()) {
             if req.state() != ReqState::Dirty {
                 continue;
             }
@@ -149,8 +174,15 @@ impl NfsInode {
         }
         drop(index);
         if run.is_empty() {
+            // Proven: nothing is dirty anywhere (nothing below the floor
+            // by invariant, nothing at or above it by this scan).
+            self.dirty_floor.set(u64::MAX);
             return None;
         }
+        // The run becomes writeback and everything before it was scanned
+        // non-dirty: the floor moves past the run.
+        self.dirty_floor
+            .set(run.last().map_or(u64::MAX, |r| r.page_index + 1));
         for req in &run {
             req.mark_writeback();
             self.dirty.set(self.dirty.get() - 1);
@@ -175,6 +207,7 @@ impl NfsInode {
     pub fn batch_redirty(&self, batch: &[Rc<NfsPageReq>]) {
         for req in batch {
             req.mark_dirty_again();
+            self.lower_dirty_floor(req.page_index);
             self.writeback.set(self.writeback.get() - 1);
             self.dirty.set(self.dirty.get() + 1);
         }
@@ -211,6 +244,7 @@ impl NfsInode {
         self.unstable_bytes
             .set(self.unstable_bytes.get() - req.unstable_len());
         req.mark_dirty_again();
+        self.lower_dirty_floor(req.page_index);
         self.dirty.set(self.dirty.get() + 1);
         self.completion.wake_all();
     }
@@ -259,7 +293,7 @@ mod tests {
         for p in pages {
             let req = NfsPageReq::new(p, 0, 4096, SimTime::ZERO);
             ino.index.borrow_mut().insert(req);
-            ino.note_created();
+            ino.note_created(p);
         }
     }
 

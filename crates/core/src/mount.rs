@@ -485,7 +485,7 @@ impl NfsMount {
         // respect to `nfs_flushd` (no await between them), or the daemon
         // can schedule the request before it is accounted for.
         let walked = inode.index.borrow_mut().insert(req);
-        inode.note_created();
+        inode.note_created(seg.index);
         self.note_request_created();
         self.charge_index_walk("nfs_update_request", walked).await;
     }

@@ -27,35 +27,26 @@ fn mb(bytes: u64) -> f64 {
     bytes as f64 / (1 << 20) as f64
 }
 
-/// Figures 1 and 7 share a shape: local ext2 vs NFS on both servers,
-/// write throughput against file size. Each `(size, backend)` point is
-/// an isolated world, fanned across up to `jobs` worker threads; results
-/// come back in work-list order, so the sweep (and its CSV) is
-/// bit-identical at any `jobs` value.
-pub fn throughput_sweep(tuning: ClientTuning, sizes: &[u64], jobs: usize) -> Sweep {
-    const BACKENDS: usize = 3;
-    let mut cells: Vec<runner::Cell<(f64, f64)>> = Vec::new();
-    for &size in sizes {
-        cells.push(runner::Cell::new(format!("figure/local/{}", mb(size)), move || {
-            (mb(size), run_local(size, false).write_mbps())
-        }));
-        cells.push(runner::Cell::new(format!("figure/filer/{}", mb(size)), move || {
-            (
-                mb(size),
-                write_throughput_mbps(&Scenario::new(tuning, ServerKind::Filer), size),
-            )
-        }));
-        cells.push(runner::Cell::new(format!("figure/knfsd/{}", mb(size)), move || {
-            (
-                mb(size),
-                write_throughput_mbps(&Scenario::new(tuning, ServerKind::Knfsd), size),
-            )
-        }));
+/// One `(file size MB, write MB/s)` measurement of figure 1/7: local
+/// ext2 when `server` is `None`, else NFS against that server.
+fn throughput_point(tuning: ClientTuning, server: Option<ServerKind>, size: u64) -> (f64, f64) {
+    match server {
+        None => (mb(size), run_local(size, false).write_mbps()),
+        Some(kind) => (
+            mb(size),
+            write_throughput_mbps(&Scenario::new(tuning, kind), size),
+        ),
     }
-    let points = runner::run_cells(jobs, cells);
-    let mut local = Vec::with_capacity(sizes.len());
-    let mut filer = Vec::with_capacity(sizes.len());
-    let mut knfsd = Vec::with_capacity(sizes.len());
+}
+
+/// Folds the per-point results (work-list order: local, filer, knfsd
+/// per size) back into the three-series sweep.
+fn sweep_from_points(sizes_len: usize, points: &[(f64, f64)]) -> Sweep {
+    const BACKENDS: usize = 3;
+    assert_eq!(points.len(), sizes_len * BACKENDS, "3 backends per size");
+    let mut local = Vec::with_capacity(sizes_len);
+    let mut filer = Vec::with_capacity(sizes_len);
+    let mut knfsd = Vec::with_capacity(sizes_len);
     for chunk in points.chunks_exact(BACKENDS) {
         local.push(chunk[0]);
         filer.push(chunk[1]);
@@ -70,6 +61,28 @@ pub fn throughput_sweep(tuning: ClientTuning, sizes: &[u64], jobs: usize) -> Swe
         x_label: "file size (MB)".into(),
         y_label: "write throughput (MB/s)".into(),
     }
+}
+
+/// Figures 1 and 7 share a shape: local ext2 vs NFS on both servers,
+/// write throughput against file size. Each `(size, backend)` point is
+/// an isolated world, fanned across up to `jobs` worker threads; results
+/// come back in work-list order, so the sweep (and its CSV) is
+/// bit-identical at any `jobs` value.
+pub fn throughput_sweep(tuning: ClientTuning, sizes: &[u64], jobs: usize) -> Sweep {
+    let mut cells: Vec<runner::Cell<(f64, f64)>> = Vec::new();
+    for &size in sizes {
+        cells.push(runner::Cell::new(format!("figure/local/{}", mb(size)), move || {
+            throughput_point(tuning, None, size)
+        }));
+        cells.push(runner::Cell::new(format!("figure/filer/{}", mb(size)), move || {
+            throughput_point(tuning, Some(ServerKind::Filer), size)
+        }));
+        cells.push(runner::Cell::new(format!("figure/knfsd/{}", mb(size)), move || {
+            throughput_point(tuning, Some(ServerKind::Knfsd), size)
+        }));
+    }
+    let points = runner::run_cells(jobs, cells);
+    sweep_from_points(sizes.len(), &points)
 }
 
 /// Figure 1: local vs NFS memory write performance with the **stock**
@@ -178,13 +191,22 @@ pub struct HistogramPair {
     pub knfsd_max: SimDuration,
 }
 
-fn histogram_pair(label: &'static str, tuning: ClientTuning) -> HistogramPair {
-    let size = 30 << 20;
-    let filer_out = run_bonnie(&Scenario::new(tuning, ServerKind::Filer), size);
-    let knfsd_out = run_bonnie(&Scenario::new(tuning, ServerKind::Knfsd), size);
+/// One server's per-call latencies for a figure-5/6 histogram half.
+fn histogram_half(tuning: ClientTuning, kind: ServerKind, size: u64) -> Vec<SimDuration> {
+    run_bonnie(&Scenario::new(tuning, kind), size)
+        .report
+        .latencies
+}
+
+/// Combines the two halves' raw latencies into the rendered pair.
+fn pair_from_latencies(
+    label: &'static str,
+    filer_lat: &[SimDuration],
+    knfsd_lat: &[SimDuration],
+) -> HistogramPair {
     // The paper excludes the first data point (cold-start, ~1 ms).
-    let f_lat = &filer_out.report.latencies[1..];
-    let k_lat = &knfsd_out.report.latencies[1..];
+    let f_lat = &filer_lat[1..];
+    let k_lat = &knfsd_lat[1..];
     HistogramPair {
         label,
         filer: Histogram::from_samples(SimDuration::from_micros(60), 8, f_lat),
@@ -194,6 +216,12 @@ fn histogram_pair(label: &'static str, tuning: ClientTuning) -> HistogramPair {
         filer_max: f_lat.iter().copied().max().unwrap_or(SimDuration::ZERO),
         knfsd_max: k_lat.iter().copied().max().unwrap_or(SimDuration::ZERO),
     }
+}
+
+fn histogram_pair(label: &'static str, tuning: ClientTuning, size: u64) -> HistogramPair {
+    let filer = histogram_half(tuning, ServerKind::Filer, size);
+    let knfsd = histogram_half(tuning, ServerKind::Knfsd, size);
+    pair_from_latencies(label, &filer, &knfsd)
 }
 
 impl HistogramPair {
@@ -223,13 +251,13 @@ impl HistogramPair {
 /// `sock_sendmsg` (30 MB file). The *faster* server (the filer) shows
 /// more slow calls.
 pub fn figure5() -> HistogramPair {
-    histogram_pair("normal (BKL held)", ClientTuning::hash_table())
+    histogram_pair("normal (BKL held)", ClientTuning::hash_table(), 30 << 20)
 }
 
 /// Figure 6: the same histograms with the lock released around
 /// `sock_sendmsg` — jitter collapses, minimum latency unchanged.
 pub fn figure6() -> HistogramPair {
-    histogram_pair("no lock", ClientTuning::full_patch())
+    histogram_pair("no lock", ClientTuning::full_patch(), 30 << 20)
 }
 
 /// Table 1: client memory write throughput (5 MB file) before and after
@@ -246,9 +274,13 @@ pub struct Table1 {
     pub linux_no_lock: f64,
 }
 
-/// Runs Table 1.
+/// Runs Table 1 (the paper's 5 MB file).
 pub fn table1() -> Table1 {
-    let size = 5 << 20;
+    table1_sized(5 << 20)
+}
+
+/// Runs Table 1 at an arbitrary file size (tests use tiny files).
+pub fn table1_sized(size: u64) -> Table1 {
     Table1 {
         filer_normal: write_throughput_mbps(
             &Scenario::new(ClientTuning::hash_table(), ServerKind::Filer),
@@ -288,21 +320,390 @@ pub struct SlowServerComparison {
     pub knfsd_net_mbps: f64,
 }
 
+/// One server's run of the §3.5 comparison, reduced to plain numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct SlowRun {
+    /// Memory write throughput, MB/s.
+    pub write_mbps: f64,
+    /// Sustained client network throughput, MB/s.
+    pub net_mbps: f64,
+    /// Fraction of all lock wait time blamed on the RPC transmit section.
+    pub xmit_wait_fraction: f64,
+}
+
+/// Runs one server of the slow-server comparison (BKL held).
+fn slow_server_run(kind: ServerKind, size: u64) -> SlowRun {
+    let out = run_bonnie(&Scenario::new(ClientTuning::hash_table(), kind), size);
+    let xmit_wait = out.lock_stats.wait_blamed_on("rpc_xmit").as_nanos() as f64;
+    let total_wait = out.lock_stats.total_wait.as_nanos().max(1) as f64;
+    SlowRun {
+        write_mbps: out.report.write_mbps(),
+        net_mbps: out.net_tx_mbps,
+        xmit_wait_fraction: xmit_wait / total_wait,
+    }
+}
+
+/// Folds the three per-server runs (filer, knfsd, slow) into the
+/// comparison.
+fn slow_server_from_runs(filer: SlowRun, knfsd: SlowRun, slow: SlowRun) -> SlowServerComparison {
+    SlowServerComparison {
+        filer_mbps: filer.write_mbps,
+        knfsd_mbps: knfsd.write_mbps,
+        slow_mbps: slow.write_mbps,
+        xmit_wait_fraction: filer.xmit_wait_fraction,
+        filer_net_mbps: filer.net_mbps,
+        knfsd_net_mbps: knfsd.net_mbps,
+    }
+}
+
 /// Runs the slow-server comparison (5 MB file, BKL held).
 pub fn slow_server_comparison() -> SlowServerComparison {
-    let size = 5 << 20;
-    let tuning = ClientTuning::hash_table();
-    let filer = run_bonnie(&Scenario::new(tuning, ServerKind::Filer), size);
-    let knfsd = run_bonnie(&Scenario::new(tuning, ServerKind::Knfsd), size);
-    let slow = run_bonnie(&Scenario::new(tuning, ServerKind::Slow100), size);
-    let xmit_wait = filer.lock_stats.wait_blamed_on("rpc_xmit").as_nanos() as f64;
-    let total_wait = filer.lock_stats.total_wait.as_nanos().max(1) as f64;
-    SlowServerComparison {
-        filer_mbps: filer.report.write_mbps(),
-        knfsd_mbps: knfsd.report.write_mbps(),
-        slow_mbps: slow.report.write_mbps(),
-        xmit_wait_fraction: xmit_wait / total_wait,
-        filer_net_mbps: filer.net_tx_mbps,
-        knfsd_net_mbps: knfsd.net_tx_mbps,
+    slow_server_comparison_sized(5 << 20)
+}
+
+/// [`slow_server_comparison`] at an arbitrary file size.
+pub fn slow_server_comparison_sized(size: u64) -> SlowServerComparison {
+    slow_server_from_runs(
+        slow_server_run(ServerKind::Filer, size),
+        slow_server_run(ServerKind::Knfsd, size),
+        slow_server_run(ServerKind::Slow100, size),
+    )
+}
+
+/// Table 1 in the CSV shape `nfsperf figures` writes.
+pub fn table1_csv(t: &Table1) -> String {
+    format!(
+        "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
+        t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
+    )
+}
+
+/// The slow-server comparison in the CSV shape `nfsperf figures` writes.
+pub fn slow_server_csv(c: &SlowServerComparison) -> String {
+    format!(
+        "server,write_mbps\nnetapp-filer,{:.1}\nlinux-nfs-server,{:.1}\nslow-100bt,{:.1}\n",
+        c.filer_mbps, c.knfsd_mbps, c.slow_mbps
+    )
+}
+
+/// File sizes for the fixed-size exhibits (figures 2–6, Table 1, the
+/// slow-server comparison). Defaults are the paper's sizes; tests shrink
+/// every field to run the full phased-vs-monolithic equivalence check on
+/// tiny files.
+#[derive(Debug, Clone, Copy)]
+pub struct ExhibitSizes {
+    /// Figure 2's file (paper: 40 MB).
+    pub figure2_bytes: u64,
+    /// Figure 3's file (paper: 100 MB).
+    pub figure3_bytes: u64,
+    /// Figure 4's file (paper: 100 MB).
+    pub figure4_bytes: u64,
+    /// Figures 5/6's file (paper: 30 MB).
+    pub histogram_bytes: u64,
+    /// Table 1's file (paper: 5 MB).
+    pub table1_bytes: u64,
+    /// The slow-server comparison's file (paper: 5 MB).
+    pub slow_bytes: u64,
+}
+
+impl Default for ExhibitSizes {
+    fn default() -> ExhibitSizes {
+        ExhibitSizes {
+            figure2_bytes: 40 << 20,
+            figure3_bytes: 100 << 20,
+            figure4_bytes: 100 << 20,
+            histogram_bytes: 30 << 20,
+            table1_bytes: 5 << 20,
+            slow_bytes: 5 << 20,
+        }
     }
+}
+
+impl ExhibitSizes {
+    /// Every exhibit at the same (small) file size, for tests.
+    pub fn uniform(bytes: u64) -> ExhibitSizes {
+        ExhibitSizes {
+            figure2_bytes: bytes,
+            figure3_bytes: bytes,
+            figure4_bytes: bytes,
+            histogram_bytes: bytes,
+            table1_bytes: bytes,
+            slow_bytes: bytes,
+        }
+    }
+}
+
+/// One phased exhibit cell's result. [`assemble_exhibits`] consumes
+/// these in work-list order; the variant encodes which kind of
+/// measurement the cell was.
+pub enum ExhibitPart {
+    /// One `(size MB, MB/s)` throughput point of figure 1 or 7.
+    Point((f64, f64)),
+    /// One full latency trace (figures 2–4).
+    Trace(LatencyTrace),
+    /// One server's per-call latencies (half of figure 5 or 6).
+    Latencies(Vec<SimDuration>),
+    /// One Table 1 throughput entry.
+    Mbps(f64),
+    /// One server's slow-server-comparison run.
+    Slow(SlowRun),
+}
+
+impl ExhibitPart {
+    fn kind(&self) -> &'static str {
+        match self {
+            ExhibitPart::Point(_) => "Point",
+            ExhibitPart::Trace(_) => "Trace",
+            ExhibitPart::Latencies(_) => "Latencies",
+            ExhibitPart::Mbps(_) => "Mbps",
+            ExhibitPart::Slow(_) => "Slow",
+        }
+    }
+}
+
+/// The *phased* work-list behind `nfsperf figures` and
+/// `examples/run_all`: every exhibit split into its independent
+/// simulated worlds — one cell per figure-1/7 `(size, backend)` point,
+/// per figure-5/6 server half, per Table 1 entry, and per slow-server
+/// run — so a worker pool is never starved by one monolithic exhibit.
+/// Results pair back up in [`assemble_exhibits`]; the CSVs are
+/// byte-identical to the monolithic list
+/// ([`monolithic_exhibit_cells_with`]) at any `--jobs` value.
+pub fn exhibit_cells(sizes: &[u64]) -> Vec<runner::Cell<ExhibitPart>> {
+    exhibit_cells_with(sizes, ExhibitSizes::default())
+}
+
+/// [`exhibit_cells`] with explicit fixed-exhibit sizes (tests use tiny
+/// files).
+pub fn exhibit_cells_with(sizes: &[u64], ex: ExhibitSizes) -> Vec<runner::Cell<ExhibitPart>> {
+    let mut cells: Vec<runner::Cell<ExhibitPart>> = Vec::new();
+    let point = |label: String, tuning: ClientTuning, server: Option<ServerKind>, size: u64| {
+        runner::Cell::new(label, move || {
+            ExhibitPart::Point(throughput_point(tuning, server, size))
+        })
+    };
+    for &size in sizes {
+        let t = ClientTuning::linux_2_4_4();
+        cells.push(point(format!("figures/figure1/local/{}", mb(size)), t, None, size));
+        cells.push(point(
+            format!("figures/figure1/filer/{}", mb(size)),
+            t,
+            Some(ServerKind::Filer),
+            size,
+        ));
+        cells.push(point(
+            format!("figures/figure1/knfsd/{}", mb(size)),
+            t,
+            Some(ServerKind::Knfsd),
+            size,
+        ));
+    }
+    cells.push(runner::Cell::new("figures/figure2", move || {
+        ExhibitPart::Trace(latency_trace(
+            "linux-2.4.4",
+            ClientTuning::linux_2_4_4(),
+            ex.figure2_bytes,
+        ))
+    }));
+    cells.push(runner::Cell::new("figures/figure3", move || {
+        ExhibitPart::Trace(latency_trace(
+            "no-flush",
+            ClientTuning::no_flush(),
+            ex.figure3_bytes,
+        ))
+    }));
+    cells.push(runner::Cell::new("figures/figure4", move || {
+        ExhibitPart::Trace(latency_trace(
+            "hash-table",
+            ClientTuning::hash_table(),
+            ex.figure4_bytes,
+        ))
+    }));
+    for (fig, tuning) in [
+        ("figure5", ClientTuning::hash_table()),
+        ("figure6", ClientTuning::full_patch()),
+    ] {
+        for kind in [ServerKind::Filer, ServerKind::Knfsd] {
+            cells.push(runner::Cell::new(
+                format!("figures/{fig}/{}", kind.label()),
+                move || ExhibitPart::Latencies(histogram_half(tuning, kind, ex.histogram_bytes)),
+            ));
+        }
+    }
+    for (name, tuning, kind) in [
+        ("filer/normal", ClientTuning::hash_table(), ServerKind::Filer),
+        ("filer/no-lock", ClientTuning::full_patch(), ServerKind::Filer),
+        ("linux/normal", ClientTuning::hash_table(), ServerKind::Knfsd),
+        ("linux/no-lock", ClientTuning::full_patch(), ServerKind::Knfsd),
+    ] {
+        cells.push(runner::Cell::new(format!("figures/table1/{name}"), move || {
+            ExhibitPart::Mbps(write_throughput_mbps(
+                &Scenario::new(tuning, kind),
+                ex.table1_bytes,
+            ))
+        }));
+    }
+    for &size in sizes {
+        let t = ClientTuning::full_patch();
+        cells.push(point(format!("figures/figure7/local/{}", mb(size)), t, None, size));
+        cells.push(point(
+            format!("figures/figure7/filer/{}", mb(size)),
+            t,
+            Some(ServerKind::Filer),
+            size,
+        ));
+        cells.push(point(
+            format!("figures/figure7/knfsd/{}", mb(size)),
+            t,
+            Some(ServerKind::Knfsd),
+            size,
+        ));
+    }
+    for kind in [ServerKind::Filer, ServerKind::Knfsd, ServerKind::Slow100] {
+        cells.push(runner::Cell::new(
+            format!("figures/slow_server/{}", kind.label()),
+            move || ExhibitPart::Slow(slow_server_run(kind, ex.slow_bytes)),
+        ));
+    }
+    cells
+}
+
+/// The pre-split *monolithic* work-list: one cell per whole exhibit,
+/// each rendering `(file name, CSV body)` with its inner sweep run
+/// serially. Kept as the reference implementation the phased list is
+/// proven byte-identical against (`tests/runner.rs`).
+pub fn monolithic_exhibit_cells_with(
+    sizes: &[u64],
+    ex: ExhibitSizes,
+) -> Vec<runner::Cell<(&'static str, String)>> {
+    let s1 = sizes.to_vec();
+    let s7 = sizes.to_vec();
+    vec![
+        runner::Cell::new("figures/figure1", move || {
+            ("figure1.csv", figure1(&s1, 1).to_csv())
+        }),
+        runner::Cell::new("figures/figure2", move || {
+            (
+                "figure2.csv",
+                latency_trace("linux-2.4.4", ClientTuning::linux_2_4_4(), ex.figure2_bytes)
+                    .to_csv(),
+            )
+        }),
+        runner::Cell::new("figures/figure3", move || {
+            (
+                "figure3.csv",
+                latency_trace("no-flush", ClientTuning::no_flush(), ex.figure3_bytes).to_csv(),
+            )
+        }),
+        runner::Cell::new("figures/figure4", move || {
+            (
+                "figure4.csv",
+                latency_trace("hash-table", ClientTuning::hash_table(), ex.figure4_bytes).to_csv(),
+            )
+        }),
+        runner::Cell::new("figures/figure5", move || {
+            (
+                "figure5.csv",
+                histogram_pair("normal (BKL held)", ClientTuning::hash_table(), ex.histogram_bytes)
+                    .to_csv(),
+            )
+        }),
+        runner::Cell::new("figures/figure6", move || {
+            (
+                "figure6.csv",
+                histogram_pair("no lock", ClientTuning::full_patch(), ex.histogram_bytes).to_csv(),
+            )
+        }),
+        runner::Cell::new("figures/table1", move || {
+            ("table1.csv", table1_csv(&table1_sized(ex.table1_bytes)))
+        }),
+        runner::Cell::new("figures/figure7", move || {
+            ("figure7.csv", figure7(&s7, 1).to_csv())
+        }),
+        runner::Cell::new("figures/slow_server", move || {
+            (
+                "slow_server.csv",
+                slow_server_csv(&slow_server_comparison_sized(ex.slow_bytes)),
+            )
+        }),
+    ]
+}
+
+/// Reassembles the phased results (in [`exhibit_cells_with`] work-list
+/// order) into the `(file name, CSV body)` list the monolithic cells
+/// produce — byte-identical, in the same file order.
+///
+/// # Panics
+///
+/// Panics when `parts` does not match the work-list shape for `sizes`.
+pub fn assemble_exhibits(sizes: &[u64], parts: Vec<ExhibitPart>) -> Vec<(&'static str, String)> {
+    let mut it = parts.into_iter();
+    let mut next = |expect: &'static str| {
+        let part = it.next().unwrap_or_else(|| panic!("missing exhibit part: expected {expect}"));
+        let kind = part.kind();
+        assert_eq!(kind, expect, "exhibit part mismatch: expected {expect}, got {kind}");
+        part
+    };
+    let points = |n: usize, next: &mut dyn FnMut(&'static str) -> ExhibitPart| {
+        (0..n * 3)
+            .map(|_| match next("Point") {
+                ExhibitPart::Point(p) => p,
+                _ => unreachable!(),
+            })
+            .collect::<Vec<_>>()
+    };
+    let trace = |part: ExhibitPart| match part {
+        ExhibitPart::Trace(t) => t,
+        _ => unreachable!(),
+    };
+    let lats = |part: ExhibitPart| match part {
+        ExhibitPart::Latencies(l) => l,
+        _ => unreachable!(),
+    };
+    let mbps = |part: ExhibitPart| match part {
+        ExhibitPart::Mbps(m) => m,
+        _ => unreachable!(),
+    };
+    let slow = |part: ExhibitPart| match part {
+        ExhibitPart::Slow(s) => s,
+        _ => unreachable!(),
+    };
+
+    let fig1 = sweep_from_points(sizes.len(), &points(sizes.len(), &mut next));
+    let fig2 = trace(next("Trace"));
+    let fig3 = trace(next("Trace"));
+    let fig4 = trace(next("Trace"));
+    let (f5f, f5k) = (lats(next("Latencies")), lats(next("Latencies")));
+    let (f6f, f6k) = (lats(next("Latencies")), lats(next("Latencies")));
+    let t1 = Table1 {
+        filer_normal: mbps(next("Mbps")),
+        filer_no_lock: mbps(next("Mbps")),
+        linux_normal: mbps(next("Mbps")),
+        linux_no_lock: mbps(next("Mbps")),
+    };
+    let fig7 = sweep_from_points(sizes.len(), &points(sizes.len(), &mut next));
+    let cmp = slow_server_from_runs(
+        slow(next("Slow")),
+        slow(next("Slow")),
+        slow(next("Slow")),
+    );
+    assert!(it.next().is_none(), "unconsumed exhibit parts");
+
+    vec![
+        ("figure1.csv", fig1.to_csv()),
+        ("figure2.csv", fig2.to_csv()),
+        ("figure3.csv", fig3.to_csv()),
+        ("figure4.csv", fig4.to_csv()),
+        (
+            "figure5.csv",
+            pair_from_latencies("normal (BKL held)", &f5f, &f5k).to_csv(),
+        ),
+        (
+            "figure6.csv",
+            pair_from_latencies("no lock", &f6f, &f6k).to_csv(),
+        ),
+        ("table1.csv", table1_csv(&t1)),
+        ("figure7.csv", fig7.to_csv()),
+        ("slow_server.csv", slow_server_csv(&cmp)),
+    ]
 }

@@ -31,7 +31,10 @@ pub use figures::{
     quick_file_sizes, slow_server_comparison, table1, throughput_sweep, HistogramPair,
     LatencyTrace, SlowServerComparison, Table1,
 };
-pub use qos::{qos_cells, qos_sweep, run_qos, QosCell, QosConfig, QosRun, QosSweep};
+pub use qos::{
+    assemble_qos_rows, qos_cells, qos_run_cells, qos_sweep, run_qos, QosCell, QosConfig, QosRun,
+    QosSweep,
+};
 pub use render::{ascii_table, write_rows_csv, Series, Sweep};
 pub use scenario::{
     run_bonnie, run_custom, run_local, run_local_with_ram, write_throughput_mbps, RunOutput,

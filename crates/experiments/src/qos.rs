@@ -295,9 +295,44 @@ pub struct QosSweep {
     pub bytes_per_victim: u64,
 }
 
-/// Builds the sweep's work-list: one [`runner::Cell`] per
+/// Folds a hog run and its hog-free baseline into one sweep row.
+fn qos_row(
+    server: ServerKind,
+    sched: SchedPolicy,
+    victims: usize,
+    base: &QosRun,
+    run: &QosRun,
+) -> QosCell {
+    let n = run.victim_mbps.len() as f64;
+    let victim_p99_ms = run.victim_svc_p99.as_nanos() as f64 / 1e6;
+    let baseline_p99_ms = base.victim_svc_p99.as_nanos() as f64 / 1e6;
+    QosCell {
+        server,
+        sched,
+        victims,
+        victim_mean_mbps: run.victim_mbps.iter().sum::<f64>() / n,
+        victim_min_mbps: run.victim_mbps.iter().copied().fold(f64::INFINITY, f64::min),
+        hog_mbps: run.hog_mbps,
+        jain_all: run.jain_all,
+        victim_jain: run.victim_jain,
+        victim_p99_ms,
+        baseline_p99_ms,
+        p99_ratio: if baseline_p99_ms > 0.0 {
+            victim_p99_ms / baseline_p99_ms
+        } else {
+            1.0
+        },
+    }
+}
+
+/// Builds the *monolithic* work-list: one [`runner::Cell`] per
 /// `(server, sched)` pair; each cell runs the hog-free baseline and the
 /// hog world back to back (both inside the same worker).
+///
+/// Kept as the reference implementation for the phased list
+/// ([`qos_run_cells`] + [`assemble_qos_rows`]), which produces identical
+/// rows from twice as many half-size cells; `tests/runner.rs` proves the
+/// equivalence property.
 pub fn qos_cells(
     servers: &[ServerKind],
     scheds: &[SchedPolicy],
@@ -313,30 +348,7 @@ pub fn qos_cells(
                     let config = QosConfig::new(server, sched, victims, bytes_per_victim);
                     let base = run_qos(&config.baseline());
                     let run = run_qos(&config);
-                    let n = run.victim_mbps.len() as f64;
-                    let victim_p99_ms = run.victim_svc_p99.as_nanos() as f64 / 1e6;
-                    let baseline_p99_ms = base.victim_svc_p99.as_nanos() as f64 / 1e6;
-                    QosCell {
-                        server,
-                        sched,
-                        victims,
-                        victim_mean_mbps: run.victim_mbps.iter().sum::<f64>() / n,
-                        victim_min_mbps: run
-                            .victim_mbps
-                            .iter()
-                            .copied()
-                            .fold(f64::INFINITY, f64::min),
-                        hog_mbps: run.hog_mbps,
-                        jain_all: run.jain_all,
-                        victim_jain: run.victim_jain,
-                        victim_p99_ms,
-                        baseline_p99_ms,
-                        p99_ratio: if baseline_p99_ms > 0.0 {
-                            victim_p99_ms / baseline_p99_ms
-                        } else {
-                            1.0
-                        },
-                    }
+                    qos_row(server, sched, victims, &base, &run)
                 },
             ));
         }
@@ -344,9 +356,64 @@ pub fn qos_cells(
     cells
 }
 
+/// Builds the *phased* work-list: every `(server, sched)` pair
+/// contributes two independent cells — the hog-free baseline world and
+/// the hog world — so a pool of workers always has twice as many units
+/// to pull from. Results pair back up in [`assemble_qos_rows`].
+pub fn qos_run_cells(
+    servers: &[ServerKind],
+    scheds: &[SchedPolicy],
+    victims: usize,
+    bytes_per_victim: u64,
+) -> Vec<runner::Cell<QosRun>> {
+    let mut cells = Vec::new();
+    for &server in servers {
+        for &sched in scheds {
+            let config = QosConfig::new(server, sched, victims, bytes_per_victim);
+            let base = config.baseline();
+            cells.push(runner::Cell::new(
+                format!("qos/{}/{}/baseline", server.label(), sched.label()),
+                move || run_qos(&base),
+            ));
+            cells.push(runner::Cell::new(
+                format!("qos/{}/{}/hog", server.label(), sched.label()),
+                move || run_qos(&config),
+            ));
+        }
+    }
+    cells
+}
+
+/// Pairs the phased results (work-list order: baseline then hog per
+/// `(server, sched)`) back into sweep rows, identical to what the
+/// monolithic [`qos_cells`] list returns.
+pub fn assemble_qos_rows(
+    servers: &[ServerKind],
+    scheds: &[SchedPolicy],
+    victims: usize,
+    runs: Vec<QosRun>,
+) -> Vec<QosCell> {
+    assert_eq!(
+        runs.len(),
+        servers.len() * scheds.len() * 2,
+        "one baseline + one hog run per (server, sched)"
+    );
+    let mut it = runs.into_iter();
+    let mut rows = Vec::with_capacity(servers.len() * scheds.len());
+    for &server in servers {
+        for &sched in scheds {
+            let base = it.next().expect("baseline run");
+            let run = it.next().expect("hog run");
+            rows.push(qos_row(server, sched, victims, &base, &run));
+        }
+    }
+    rows
+}
+
 /// Runs the sweep on up to `jobs` worker threads: for every server ×
-/// policy, one hog run and one hog-free baseline. Cells are independent
-/// worlds, deterministic for a given input — rows (and the CSV) are
+/// policy, one hog run and one hog-free baseline, phased as separate
+/// cells so the pool always has work. Cells are independent worlds,
+/// deterministic for a given input — rows (and the CSV) are
 /// bit-identical at any `jobs` value.
 pub fn qos_sweep(
     servers: &[ServerKind],
@@ -355,8 +422,12 @@ pub fn qos_sweep(
     bytes_per_victim: u64,
     jobs: usize,
 ) -> QosSweep {
+    let runs = runner::run_cells(
+        jobs,
+        qos_run_cells(servers, scheds, victims, bytes_per_victim),
+    );
     QosSweep {
-        rows: runner::run_cells(jobs, qos_cells(servers, scheds, victims, bytes_per_victim)),
+        rows: assemble_qos_rows(servers, scheds, victims, runs),
         victims,
         bytes_per_victim,
     }

@@ -41,7 +41,7 @@ pub use metrics::{
     mbps, mean, percentile, ByteMeter, Counter, Histogram, LatencyDigest, ProfileRow, Profiler,
     Trace,
 };
-pub use profile::{BenchReport, CellStats, SweepStats};
+pub use profile::{BenchComparison, BenchReport, CellStats, SweepStats};
 pub use rng::SimRng;
 pub use runner::{default_jobs, run_cells, run_cells_profiled, Cell};
 pub use select::{select2, Either};

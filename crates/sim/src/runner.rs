@@ -231,4 +231,30 @@ mod tests {
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
     }
+
+    /// A cell that dies mid-run must not leak its half-counted events
+    /// into the next cell profiled on the same thread: `run_one` resets
+    /// the thread tally at cell *start*, not only at cell end.
+    #[test]
+    fn aborted_cell_leaves_no_stale_tally() {
+        // An aborting cell: it retires simulated events and then panics,
+        // so its profiling bracket never reaches the end-of-cell take.
+        let doomed: Vec<Cell<u32>> = vec![Cell::new("doomed", || {
+            profile::note_sim_events(1_000_000);
+            panic!("cell aborted mid-run");
+        })];
+        let escaped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = run_cells(1, doomed);
+        }));
+        assert!(escaped.is_err(), "doomed cell must panic");
+
+        // A clean cell profiled afterwards on this same thread must
+        // count only its own events, not the aborted cell's million.
+        let (_, stats) = run_cells_profiled(1, vec![Cell::new("clean", || sim_cell(0))]);
+        assert!(
+            stats[0].events > 0 && stats[0].events < 1_000_000,
+            "stale tally leaked into clean cell: {} events",
+            stats[0].events
+        );
+    }
 }

@@ -49,6 +49,45 @@ impl WaitNode {
     }
 }
 
+/// Free list of [`WaitNode`]s, so a park/wake cycle stops costing one
+/// `Rc` allocation per wait on the engine's hottest blocking paths
+/// (wait queues, the BKL, RPC slot semaphores, NIC channels).
+///
+/// A node handed back by a wake may still be referenced by its
+/// not-yet-dropped [`WaitFuture`]; [`NodePool::get`] only recycles nodes
+/// whose strong count has fallen back to one (the pool's own reference),
+/// so a live future can never observe its node being reused.
+#[derive(Default)]
+struct NodePool {
+    free: RefCell<Vec<Rc<WaitNode>>>,
+}
+
+/// Free-list bound; parks beyond this fall back to plain allocation.
+const NODE_POOL_CAP: usize = 64;
+
+impl NodePool {
+    fn get(&self) -> Rc<WaitNode> {
+        let mut free = self.free.borrow_mut();
+        while let Some(node) = free.pop() {
+            if Rc::strong_count(&node) == 1 {
+                node.woken.set(false);
+                node.cancelled.set(false);
+                node.waker.borrow_mut().take();
+                return node;
+            }
+            // The paired future is still alive; forget this node.
+        }
+        WaitNode::new()
+    }
+
+    fn put(&self, node: Rc<WaitNode>) {
+        let mut free = self.free.borrow_mut();
+        if free.len() < NODE_POOL_CAP {
+            free.push(node);
+        }
+    }
+}
+
 /// A FIFO wait queue, analogous to a kernel `wait_queue_head_t`.
 ///
 /// Waiters must re-check their predicate after waking:
@@ -77,6 +116,7 @@ impl WaitNode {
 #[derive(Default)]
 pub struct WaitQueue {
     waiters: RefCell<VecDeque<Rc<WaitNode>>>,
+    pool: NodePool,
 }
 
 impl WaitQueue {
@@ -92,7 +132,7 @@ impl WaitQueue {
     /// wake issued after `wait()` returns but before the first poll is not
     /// lost.
     pub fn wait(&self) -> WaitFuture {
-        let node = WaitNode::new();
+        let node = self.pool.get();
         self.waiters.borrow_mut().push_back(Rc::clone(&node));
         WaitFuture { node }
     }
@@ -103,9 +143,11 @@ impl WaitQueue {
         let mut waiters = self.waiters.borrow_mut();
         while let Some(node) = waiters.pop_front() {
             if node.cancelled.get() {
+                self.pool.put(node);
                 continue;
             }
             node.wake();
+            self.pool.put(node);
             return true;
         }
         false
@@ -118,6 +160,7 @@ impl WaitQueue {
             if !node.cancelled.get() {
                 node.wake();
             }
+            self.pool.put(node);
         }
     }
 
@@ -253,6 +296,7 @@ fn bump(vec: &mut Vec<(&'static str, u64)>, label: &'static str, ns: u64) {
 pub struct SimLock {
     sim: Sim,
     inner: RefCell<LockInner>,
+    pool: NodePool,
 }
 
 impl SimLock {
@@ -266,6 +310,7 @@ impl SimLock {
                 waiters: VecDeque::new(),
                 stats: StatsAccum::default(),
             }),
+            pool: NodePool::default(),
         }
     }
 
@@ -284,7 +329,7 @@ impl SimLock {
                     lock: Rc::clone(self),
                 };
             }
-            let node = WaitNode::new();
+            let node = self.pool.get();
             let blamed = inner.holder.unwrap_or("<queued>");
             inner.waiters.push_back(LockWaiter {
                 node: Rc::clone(&node),
@@ -346,7 +391,7 @@ impl SimLock {
         // Direct handoff to the longest waiter, skipping cancelled nodes.
         loop {
             match inner.waiters.pop_front() {
-                Some(w) if w.node.cancelled.get() => continue,
+                Some(w) if w.node.cancelled.get() => self.pool.put(w.node),
                 Some(w) => {
                     let waited = now.since(w.enqueued_at).as_nanos();
                     inner.stats.acquisitions += 1;
@@ -357,6 +402,7 @@ impl SimLock {
                     inner.holder = Some(w.label);
                     inner.acquired_at = now;
                     w.node.wake();
+                    self.pool.put(w.node);
                     return;
                 }
                 None => {

@@ -42,18 +42,29 @@ pub struct WheelEntry<T> {
 
 /// The wheel itself, generic over the payload so tests can model it
 /// with plain integers.
+///
+/// Entries live by value in slab-style slot buffers: one flat
+/// `[[Vec; SLOTS]; LEVELS]` array (no per-level heap spine) whose `Vec`
+/// capacities are recycled through [`TimerWheel::scratch`] and
+/// [`TimerWheel::pending`] instead of being freed on every drain —
+/// steady-state operation performs no allocation at all once the
+/// circulating buffers have grown to the working set.
 pub struct TimerWheel<T> {
     /// `slots[level][slot]` holds entries whose deadline maps there
     /// relative to `horizon`.
-    slots: Vec<Vec<Vec<WheelEntry<T>>>>,
+    slots: Box<[[Vec<WheelEntry<T>>; SLOTS]; LEVELS]>,
     /// Per-level occupancy bitmasks; bit `s` set iff `slots[level][s]`
     /// is non-empty.
     occupied: [u64; LEVELS],
     /// The wheel's position: no stored entry's deadline is below it.
     horizon: u64,
     /// Entries of the currently expiring (level-0) slot, sorted by
-    /// `seq`, drained front to back.
-    pending: std::collections::VecDeque<WheelEntry<T>>,
+    /// *descending* `seq` and drained from the back (ascending `seq`),
+    /// so draining is a pop with no element shifting.
+    pending: Vec<WheelEntry<T>>,
+    /// Recycled empty buffer left in a slot's place when the slot is
+    /// drained, so the slot's capacity survives the drain.
+    scratch: Vec<WheelEntry<T>>,
     /// Live entry count (stored + still pending).
     len: usize,
 }
@@ -68,12 +79,11 @@ impl<T> TimerWheel<T> {
     /// Creates an empty wheel positioned at time zero.
     pub fn new() -> TimerWheel<T> {
         TimerWheel {
-            slots: (0..LEVELS)
-                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
-                .collect(),
+            slots: Box::new(std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()))),
             occupied: [0; LEVELS],
             horizon: 0,
-            pending: std::collections::VecDeque::new(),
+            pending: Vec::new(),
+            scratch: Vec::new(),
             len: 0,
         }
     }
@@ -182,7 +192,14 @@ impl<T> TimerWheel<T> {
                 }
             }
             let (start, level, slot) = best.expect("len > 0 but wheel empty");
-            let entries = std::mem::take(&mut self.slots[level][slot]);
+            // Claim the slot's entries wholesale, leaving the recycled
+            // scratch buffer (empty, capacity retained) in its place so
+            // the drain frees nothing and the next store reallocates
+            // nothing.
+            let mut entries = std::mem::replace(
+                &mut self.slots[level][slot],
+                std::mem::take(&mut self.scratch),
+            );
             self.occupied[level] &= !(1 << slot);
             // Advancing to the slot's start is safe: every stored entry
             // fires at or after it.
@@ -190,23 +207,27 @@ impl<T> TimerWheel<T> {
             self.horizon = start;
             if level == 0 {
                 // One-nanosecond slot: every entry shares `start` as its
-                // deadline; seq order is the heap's tie-break.
-                let mut entries = entries;
-                entries.sort_unstable_by_key(|e| e.seq);
-                self.pending = entries.into();
+                // deadline; seq order is the heap's tie-break. Descending
+                // sort so `take_pending` pops ascending from the back.
+                if entries.len() > 1 {
+                    entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                }
+                debug_assert!(self.pending.is_empty());
+                self.scratch = std::mem::replace(&mut self.pending, entries);
                 return self.take_pending();
             }
-            // Cascade: relative to the new horizon each entry's delta
-            // shrank below this level's span, so each lands strictly
-            // lower and the loop terminates.
-            for entry in entries {
+            // Cascade the whole slot in one pass: relative to the new
+            // horizon each entry's delta shrank below this level's span,
+            // so each lands strictly lower and the loop terminates.
+            for entry in entries.drain(..) {
                 self.store(entry);
             }
+            self.scratch = entries;
         }
     }
 
     fn take_pending(&mut self) -> Option<WheelEntry<T>> {
-        let entry = self.pending.pop_front()?;
+        let entry = self.pending.pop()?;
         self.len -= 1;
         Some(entry)
     }

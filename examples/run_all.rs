@@ -4,12 +4,13 @@
 //! cargo run --release --example run_all [--quick] [--jobs N]
 //! ```
 //!
-//! The exhibits are mutually independent simulated worlds, so they fan
-//! out across `--jobs` worker threads (default: `NFSPERF_JOBS`, else the
-//! machine's parallelism) through [`nfsperf_sim::runner`]; each exhibit
-//! runs its inner sweep serially so the pool never nests. Every CSV is
-//! bit-identical at any jobs count. Total wall-clock is appended to
-//! `results/run_all.log`.
+//! The exhibits split into mutually independent simulated worlds — one
+//! cell per figure-1/7 throughput point, per figure-5/6 histogram half,
+//! per Table 1 entry, per slow-server run — fanned across `--jobs`
+//! worker threads (default: `NFSPERF_JOBS`, else the machine's
+//! parallelism) through [`nfsperf_sim::runner`]. The parts are
+//! reassembled in work-list order, so every CSV is bit-identical at any
+//! jobs count. Total wall-clock is appended to `results/run_all.log`.
 
 use nfsperf_experiments::figures;
 use nfsperf_sim::runner;
@@ -31,62 +32,19 @@ fn main() {
     };
     std::fs::create_dir_all("results").expect("mkdir results");
 
-    let s1 = sizes.clone();
-    let s7 = sizes.clone();
-    let cells: Vec<runner::Cell<(&'static str, String)>> = vec![
-        runner::Cell::new("run_all/figure1", move || {
-            ("figure1.csv", figures::figure1(&s1, 1).to_csv())
-        }),
-        runner::Cell::new("run_all/figure2", || {
-            ("figure2.csv", figures::figure2().to_csv())
-        }),
-        runner::Cell::new("run_all/figure3", || {
-            ("figure3.csv", figures::figure3().to_csv())
-        }),
-        runner::Cell::new("run_all/figure4", || {
-            ("figure4.csv", figures::figure4().to_csv())
-        }),
-        runner::Cell::new("run_all/figure5", || {
-            ("figure5.csv", figures::figure5().to_csv())
-        }),
-        runner::Cell::new("run_all/figure6", || {
-            ("figure6.csv", figures::figure6().to_csv())
-        }),
-        runner::Cell::new("run_all/table1", || {
-            let t = figures::table1();
-            (
-                "table1.csv",
-                format!(
-                    "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
-                    t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
-                ),
-            )
-        }),
-        runner::Cell::new("run_all/figure7", move || {
-            ("figure7.csv", figures::figure7(&s7, 1).to_csv())
-        }),
-        runner::Cell::new("run_all/slow_server", || {
-            let cmp = figures::slow_server_comparison();
-            (
-                "slow_server.csv",
-                format!(
-                    "server,write_mbps\nnetapp-filer,{:.1}\nlinux-nfs-server,{:.1}\nslow-100bt,{:.1}\n",
-                    cmp.filer_mbps, cmp.knfsd_mbps, cmp.slow_mbps
-                ),
-            )
-        }),
-    ];
-
-    eprintln!("{} exhibits on {} worker(s) ...", cells.len(), jobs);
+    let cells = figures::exhibit_cells(&sizes);
+    eprintln!("{} exhibit cells on {} worker(s) ...", cells.len(), jobs);
     let start = std::time::Instant::now();
-    let outputs = runner::run_cells(jobs, cells);
+    let parts = runner::run_cells(jobs, cells);
     let wall = start.elapsed();
+    let outputs = figures::assemble_exhibits(&sizes, parts);
+    let exhibits = outputs.len();
     for (name, body) in outputs {
         std::fs::write(format!("results/{name}"), body).unwrap();
     }
     let log = format!(
         "run_all: {} exhibits, jobs={}, wall={:.3}s, quick={}\n",
-        9,
+        exhibits,
         jobs,
         wall.as_secs_f64(),
         quick

@@ -77,8 +77,15 @@ awk -F, 'NR > 1 {
         if (rows == 0) { print "FAIL: empty qos-quick.csv"; exit 1 }
     }' results/qos-quick.csv
 
-echo "==> harness micro-benchmark (results/bench.json)"
-out="$(cargo run -q --release --offline --bin nfsperf -- bench --jobs 4 --out results/bench.json)"
+echo "==> harness micro-benchmark (results/bench.json vs committed baseline)"
+# Compare against the committed baseline; a sweep whose events/sec drops
+# more than the tolerance below it fails the build. The default 30% is
+# generous because quick cells run ~50-150 ms and CI machines are noisy;
+# override with NFSPERF_BENCH_TOLERANCE=0.50 etc. when needed.
+out="$(cargo run -q --release --offline --bin nfsperf -- bench --jobs 4 \
+    --out results/bench.json \
+    --against results/bench_baseline.json \
+    --tolerance "${NFSPERF_BENCH_TOLERANCE:-0.30}")"
 echo "$out"
 grep -q '"sweeps"' results/bench.json || { echo "FAIL: malformed bench.json"; exit 1; }
 # Every measured sweep must have retired simulated events.

@@ -8,7 +8,7 @@
 //! nfsperf transport [--quick] [--jobs N]
 //! nfsperf fleet [--quick] [--out FILE] [--jobs N]
 //! nfsperf qos [--quick] [--out FILE] [--jobs N]
-//! nfsperf bench [--jobs N] [--out FILE]
+//! nfsperf bench [--jobs N] [--out FILE] [--against OLD.json] [--tolerance T]
 //! nfsperf help
 //! ```
 //!
@@ -23,7 +23,7 @@ use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{
-    figures, fleet_cells, fleet_sweep, qos_cells, qos_sweep, run_bonnie, transport_cells,
+    figures, fleet_cells, fleet_sweep, qos_run_cells, qos_sweep, run_bonnie, transport_cells,
     transport_sweep, Scenario, ServerKind, FLEET_CLIENT_COUNTS, LOSS_RATES,
 };
 use nfsperf_server::SchedPolicy;
@@ -43,7 +43,8 @@ USAGE:
     nfsperf transport [--quick] [--jobs N]
     nfsperf fleet [--quick] [--out FILE] [--jobs N]
     nfsperf qos [--quick] [--out FILE] [--jobs N]
-    nfsperf bench [--jobs N] [--out FILE]
+    nfsperf bench [--jobs N] [--out FILE] [--against OLD.json]
+                  [--tolerance T]
     nfsperf help
 
 OPTIONS (run):
@@ -74,7 +75,10 @@ COMMANDS:
     bench       micro-benchmark of the sweep harness itself: runs the
                 quick fleet/qos/transport sweeps serially and again at
                 --jobs, reporting wall-clock and simulated events/sec;
-                writes JSON to --out [results/bench.json]
+                writes JSON to --out [results/bench.json]. With
+                --against OLD.json, diffs events/sec and speedup per
+                sweep against that committed baseline and exits nonzero
+                on a drop past --tolerance [0.30]
 
     --jobs N    worker threads for a sweep's independent cells
                 [NFSPERF_JOBS, else the machine's parallelism]; results
@@ -254,48 +258,6 @@ fn cmd_run(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
-/// The work-list behind `nfsperf figures` and `examples/run_all`: every
-/// exhibit as one cell rendering `(file name, CSV body)`. The exhibits
-/// themselves run with inner `jobs = 1` — parallelism lives at this
-/// outer level only, so the pool never nests.
-fn figure_cells(sizes: &[u64]) -> Vec<runner::Cell<(&'static str, String)>> {
-    let s1 = sizes.to_vec();
-    let s7 = sizes.to_vec();
-    vec![
-        runner::Cell::new("figures/figure1", move || {
-            ("figure1.csv", figures::figure1(&s1, 1).to_csv())
-        }),
-        runner::Cell::new("figures/figure2", || {
-            ("figure2.csv", figures::figure2().to_csv())
-        }),
-        runner::Cell::new("figures/figure3", || {
-            ("figure3.csv", figures::figure3().to_csv())
-        }),
-        runner::Cell::new("figures/figure4", || {
-            ("figure4.csv", figures::figure4().to_csv())
-        }),
-        runner::Cell::new("figures/figure5", || {
-            ("figure5.csv", figures::figure5().to_csv())
-        }),
-        runner::Cell::new("figures/figure6", || {
-            ("figure6.csv", figures::figure6().to_csv())
-        }),
-        runner::Cell::new("figures/table1", || {
-            let t = figures::table1();
-            (
-                "table1.csv",
-                format!(
-                    "server,normal_mbps,no_lock_mbps\nnetapp-filer,{:.1},{:.1}\nlinux-nfs-server,{:.1},{:.1}\n",
-                    t.filer_normal, t.filer_no_lock, t.linux_normal, t.linux_no_lock
-                ),
-            )
-        }),
-        runner::Cell::new("figures/figure7", move || {
-            ("figure7.csv", figures::figure7(&s7, 1).to_csv())
-        }),
-    ]
-}
-
 fn cmd_figures(mut args: Args) -> Result<(), String> {
     let quick = args.flag("--quick");
     let out_dir = args.value("--out")?.unwrap_or_else(|| "results".into());
@@ -308,9 +270,14 @@ fn cmd_figures(mut args: Args) -> Result<(), String> {
     };
     let dir = std::path::Path::new(&out_dir);
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-    let cells = figure_cells(&sizes);
-    eprintln!("rendering {} exhibits on {} worker(s) ...", cells.len(), jobs);
-    for (name, body) in runner::run_cells(jobs, cells) {
+    // Phased work-list: every exhibit split into its independent worlds
+    // (one cell per throughput point, histogram half, table entry, ...)
+    // so the pool always has work; `assemble_exhibits` pairs the parts
+    // back into CSVs byte-identical to the monolithic exhibits.
+    let cells = figures::exhibit_cells(&sizes);
+    eprintln!("rendering {} exhibit cells on {} worker(s) ...", cells.len(), jobs);
+    let parts = runner::run_cells(jobs, cells);
+    for (name, body) in figures::assemble_exhibits(&sizes, parts) {
         std::fs::write(dir.join(name), body).map_err(|e| e.to_string())?;
     }
     println!("wrote figures to {out_dir}/");
@@ -439,6 +406,11 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
     let out = args
         .value("--out")?
         .unwrap_or_else(|| "results/bench.json".into());
+    let against = args.value("--against")?;
+    let tolerance: f64 = args.parsed("--tolerance")?.unwrap_or(0.30);
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("--tolerance {tolerance} not in [0, 1)"));
+    }
     let jobs = args.jobs()?;
     args.finish()?;
     let scheds = [
@@ -467,7 +439,7 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
             &mut report,
             "qos",
             j,
-            qos_cells(&[ServerKind::Filer], &scheds, 4, 1 << 20),
+            qos_run_cells(&[ServerKind::Filer], &scheds, 4, 1 << 20),
         );
         bench_sweep(&mut report, "transport", j, transport_cells(2 << 20, LOSS_RATES));
     }
@@ -484,6 +456,25 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
         .write_json(path)
         .map_err(|e| format!("write {out}: {e}"))?;
     println!("wrote {out}");
+    if let Some(base_path) = against {
+        let text = std::fs::read_to_string(&base_path)
+            .map_err(|e| format!("read baseline {base_path}: {e}"))?;
+        let baseline =
+            BenchReport::parse_json(&text).map_err(|e| format!("baseline {base_path}: {e}"))?;
+        let diff = report.compare(&baseline, tolerance);
+        print!("{}", diff.render());
+        if !diff.passed() {
+            return Err(format!(
+                "{} regression(s) past {:.0}% tolerance vs {base_path}",
+                diff.regressions.len(),
+                tolerance * 100.0
+            ));
+        }
+        println!(
+            "bench: within {:.0}% of baseline {base_path}",
+            tolerance * 100.0
+        );
+    }
     Ok(())
 }
 
