@@ -4,13 +4,15 @@
 //! §3.5 slow-server comparison); [`ablations`] sweeps the design
 //! parameters; [`transport`] compares UDP and TCP mounts under packet
 //! loss; [`fleet`] scales client count against one shared server;
-//! [`scenario`] assembles worlds; [`render`] writes CSVs and
-//! ASCII charts.
+//! [`megafleet`] pushes that to 10k–1M flyweight clients through a
+//! multi-stage fabric; [`scenario`] assembles worlds; [`render`] writes
+//! CSVs and ASCII charts.
 
 pub mod ablations;
 pub mod concurrency;
 pub mod figures;
 pub mod fleet;
+pub mod megafleet;
 pub mod qos;
 pub mod render;
 pub mod scenario;
@@ -25,6 +27,10 @@ pub use concurrency::{concurrent_writers, future_work_comparison, ConcurrencyRes
 pub use fleet::{
     fleet_cells, fleet_sweep, jain_index, run_fleet, FleetCell, FleetConfig, FleetRun, FleetSweep,
     FLEET_CLIENT_COUNTS,
+};
+pub use megafleet::{
+    bytes_for_count, megafleet_cells, megafleet_sweep, run_megafleet, MegaCell, MegaConfig,
+    MegaRun, MegaSweep, MEGAFLEET_COUNTS, MEGAFLEET_FAITHFUL, MEGAFLEET_QUICK_COUNTS,
 };
 pub use figures::{
     figure1, figure2, figure3, figure4, figure5, figure6, figure7, paper_file_sizes,

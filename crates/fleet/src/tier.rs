@@ -1,0 +1,491 @@
+//! The flyweight tier: up to a million behavioral clients in a slab.
+//!
+//! Per client the tier keeps one [`FlyClient`] record (~64 bytes: an RNG
+//! cursor, an emission clock, three virtual NIC clocks, two timestamps,
+//! two counters) — no pages, no flushd, no per-request locks, no NIC or
+//! mount objects. Each RPC is a short-lived task chain: sleep to the
+//! calibrated emission time, traverse the real aggregation and core
+//! uplinks (queueing behind every other client, faithful ones included),
+//! drain through the per-client server-port clock, run the server's
+//! flyweight service path (real slots, NVRAM, checkpoints, dirty cache),
+//! then unwind the reply the same way. Completion refills the client's
+//! outstanding-RPC window, which emits the next requests — so the tier's
+//! live-task count tracks in-flight RPCs, not client count.
+//!
+//! Per-client serialization that a real NIC would impose (receive drain
+//! at the server port, transmit of the reply, receive at the client) is
+//! modelled with virtual clocks: `free = max(now, free) + drain_time`,
+//! exactly the arithmetic a dedicated `Nic` object's semaphore-plus-
+//! sleep performs, without the object.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use nfsperf_net::{wire_bytes, Fabric, LinkDir, NicSpec};
+use nfsperf_server::NfsServer;
+use nfsperf_sim::{mbps, Gate, LatencyDigest, Sim, SimDuration, SimTime};
+
+use crate::model::{splitmix64, BehaviorModel, FlyOp};
+
+/// UDP payload bytes of a WRITE reply (status + WCC + verifier framing).
+const WRITE_REPLY_BYTES: usize = 160;
+/// UDP payload bytes of a COMMIT reply.
+const COMMIT_REPLY_BYTES: usize = 128;
+
+/// One flyweight client's entire state. Kept `repr(C)` and packed into
+/// a slab; the memory-accounting test holds its size (and the tier's
+/// shared overhead amortized per client) under 256 bytes.
+#[repr(C)]
+#[derive(Clone)]
+struct FlyClient {
+    /// SplitMix64 cursor for gap sampling and start jitter.
+    rng: u64,
+    /// Next unconstrained emission time, ns.
+    planned: u64,
+    /// Server-port receive-drain virtual clock, ns.
+    port_rx_free: u64,
+    /// Server-port reply-transmit virtual clock, ns.
+    port_tx_free: u64,
+    /// Client-NIC receive-drain virtual clock, ns.
+    cli_rx_free: u64,
+    /// When the first RPC left, ns (throughput denominator).
+    first_emit: u64,
+    /// When the last reply finished draining, ns.
+    finish: u64,
+    /// RPCs emitted so far.
+    emitted: u32,
+    /// RPCs completed so far.
+    completed: u32,
+}
+
+/// Parameters of one flyweight tier.
+#[derive(Debug, Clone)]
+pub struct FlyTierConfig {
+    /// Number of flyweight clients.
+    pub clients: u32,
+    /// WRITEs each client emits (COMMITs are added per the model's
+    /// ratio, plus the close-time flush).
+    pub writes_per_client: u32,
+    /// Each client's NIC spec (frames requests, drains replies).
+    pub client_nic: NicSpec,
+    /// The per-client server-port spec (normally the server NIC's rate).
+    pub port_nic: NicSpec,
+    /// Tier RNG seed; each client derives its own cursor.
+    pub seed: u64,
+    /// First emissions are jittered uniformly over this span — a million
+    /// clients do not mount in the same nanosecond.
+    pub start_spread: SimDuration,
+    /// Record every `latency_stride`-th WRITE's client-observed RPC
+    /// latency into the shared digest pool (1 = record all; raise it so
+    /// a million clients share one bounded pool).
+    pub latency_stride: u32,
+    /// Upper bound on the model's outstanding-RPC window (`u32::MAX` to
+    /// take the calibrated window as-is).
+    pub window_cap: u32,
+}
+
+impl FlyTierConfig {
+    /// A tier of `clients` fast-Ethernet flyweights against a server
+    /// port of `port_nic`, with stride and spread scaled to the tier
+    /// size.
+    pub fn new(clients: u32, writes_per_client: u32, port_nic: NicSpec) -> FlyTierConfig {
+        FlyTierConfig {
+            clients,
+            writes_per_client,
+            client_nic: NicSpec::fast_ethernet(),
+            port_nic,
+            seed: 0x1f5,
+            // 2 µs of spread per client: 1k clients arrive inside 2 ms,
+            // 1M inside 2 s — staggered, but fast enough to saturate.
+            start_spread: SimDuration((clients as u64).max(1) * 2_000),
+            latency_stride: (clients / 1024).max(1),
+            window_cap: u32::MAX,
+        }
+    }
+}
+
+/// Everything measured from a finished tier.
+#[derive(Debug, Clone)]
+pub struct FlyTierRun {
+    /// Each client's achieved throughput, MB/s, in client order.
+    pub per_client_mbps: Vec<f64>,
+    /// Client-observed WRITE RPC latency digest (strided shared pool).
+    pub rpc_latency: LatencyDigest,
+    /// Time from the first emission to the last completion.
+    pub elapsed: SimDuration,
+    /// Estimated resident bytes per client (slab + amortized shares).
+    pub bytes_per_client: usize,
+}
+
+/// A running flyweight tier. Create with [`FlyTier::launch`], then
+/// `await` [`FlyTier::wait_done`] inside the simulation.
+pub struct FlyTier {
+    sim: Sim,
+    server: Rc<NfsServer>,
+    fabric: Rc<Fabric>,
+    config: FlyTierConfig,
+    model: BehaviorModel,
+    window: u32,
+    total_ops: u32,
+    fabric_base: u32,
+    server_base: usize,
+    slab: RefCell<Vec<FlyClient>>,
+    latencies: RefCell<Vec<SimDuration>>,
+    lat_counter: Cell<u64>,
+    clients_done: Cell<u32>,
+    finished: Gate,
+}
+
+impl FlyTier {
+    /// Registers `config.clients` flyweights with the fabric and the
+    /// server (faithful clients must be attached first) and emits each
+    /// client's first request at its jittered start time.
+    pub fn launch(
+        sim: &Sim,
+        server: &Rc<NfsServer>,
+        fabric: &Rc<Fabric>,
+        model: BehaviorModel,
+        config: FlyTierConfig,
+    ) -> Rc<FlyTier> {
+        assert!(config.clients > 0, "a tier needs at least one client");
+        let fabric_base = fabric.alloc_ids(config.clients);
+        let server_base = server.register_slim_clients(config.clients as usize);
+        let spread = config.start_spread.0.max(1);
+        let mut slab = Vec::with_capacity(config.clients as usize);
+        for i in 0..config.clients {
+            let mut seed = config
+                .seed
+                .wrapping_add((i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            let jitter = splitmix64(&mut seed) % spread;
+            slab.push(FlyClient {
+                rng: seed,
+                planned: jitter,
+                port_rx_free: 0,
+                port_tx_free: 0,
+                cli_rx_free: 0,
+                first_emit: 0,
+                finish: 0,
+                emitted: 0,
+                completed: 0,
+            });
+        }
+        let window = model.window.min(config.window_cap).max(1);
+        let total_ops = model.total_ops(config.writes_per_client);
+        assert!(total_ops > 0, "clients must emit at least one RPC");
+        let finished = Gate::new();
+        finished.close();
+        let tier = Rc::new(FlyTier {
+            sim: sim.clone(),
+            server: Rc::clone(server),
+            fabric: Rc::clone(fabric),
+            config,
+            model,
+            window,
+            total_ops,
+            fabric_base,
+            server_base,
+            slab: RefCell::new(slab),
+            latencies: RefCell::new(Vec::new()),
+            lat_counter: Cell::new(0),
+            clients_done: Cell::new(0),
+            finished,
+        });
+        for i in 0..tier.config.clients {
+            tier.try_emit(i);
+        }
+        tier
+    }
+
+    /// Resolves once every client has completed all of its RPCs.
+    pub async fn wait_done(&self) {
+        self.finished.pass().await;
+    }
+
+    /// Emits requests for client `idx` while its window has room: each
+    /// emission claims the next planned departure time (never earlier
+    /// than now) and advances the plan by a sampled gap. A COMMIT is a
+    /// barrier — it waits for the client's in-flight WRITEs to drain,
+    /// as the close-time flush does.
+    fn try_emit(self: &Rc<Self>, idx: u32) {
+        loop {
+            let (seq, at) = {
+                let mut slab = self.slab.borrow_mut();
+                let c = &mut slab[idx as usize];
+                if c.emitted >= self.total_ops {
+                    return;
+                }
+                let inflight = c.emitted - c.completed;
+                if inflight >= self.window {
+                    return;
+                }
+                if self.model.op_at(c.emitted, self.config.writes_per_client) == FlyOp::Commit
+                    && inflight > 0
+                {
+                    return;
+                }
+                let at = c.planned.max(self.sim.now().as_nanos());
+                c.planned = at + self.model.sample_gap(&mut c.rng).0;
+                if c.emitted == 0 {
+                    c.first_emit = at;
+                }
+                let seq = c.emitted;
+                c.emitted += 1;
+                (seq, at)
+            };
+            self.spawn_request(idx, seq, SimTime(at));
+        }
+    }
+
+    /// The request half of one RPC: wait for the emission instant, cross
+    /// the aggregation and core uplinks, propagate, drain into the
+    /// server port. Hands off to [`FlyTier::spawn_service`] so the
+    /// (possibly long) queue wait at the server does not keep this
+    /// larger future alive.
+    fn spawn_request(self: &Rc<Self>, idx: u32, seq: u32, at: SimTime) {
+        let tier = Rc::clone(self);
+        self.sim.clone().spawn(async move {
+            tier.sim.sleep_until(at).await;
+            let op = tier.model.op_at(seq, tier.config.writes_per_client);
+            let payload = match op {
+                FlyOp::Write => tier.model.write_wire_bytes,
+                FlyOp::Commit => tier.model.commit_wire_bytes,
+            };
+            let wire = wire_bytes(payload, tier.config.client_nic.mtu);
+            let agg = tier.fabric.agg_of(tier.fabric_base + idx);
+            agg.traverse(LinkDir::ToServer, wire, payload).await;
+            drop(agg);
+            tier.fabric
+                .core()
+                .traverse(LinkDir::ToServer, wire, payload)
+                .await;
+            tier.sim.sleep(tier.fabric.latency()).await;
+            let drained = tier.advance_clock(idx, ClockId::PortRx, tier.config.port_nic, wire);
+            tier.sim.sleep_until(drained).await;
+            tier.spawn_service(idx, seq, at, op);
+        });
+    }
+
+    /// The service-and-reply half: run the server's flyweight path, then
+    /// unwind the reply through the fabric back into the client.
+    fn spawn_service(self: &Rc<Self>, idx: u32, seq: u32, emitted_at: SimTime, op: FlyOp) {
+        let tier = Rc::clone(self);
+        self.sim.clone().spawn(async move {
+            let client = tier.server_base + idx as usize;
+            let reply_payload = match op {
+                FlyOp::Write => {
+                    tier.server
+                        .serve_flyweight_write(client, tier.model.write_payload)
+                        .await;
+                    WRITE_REPLY_BYTES
+                }
+                FlyOp::Commit => {
+                    tier.server.serve_flyweight_commit(client).await;
+                    COMMIT_REPLY_BYTES
+                }
+            };
+            let wire = wire_bytes(reply_payload, tier.config.port_nic.mtu);
+            let sent = tier.advance_clock(idx, ClockId::PortTx, tier.config.port_nic, wire);
+            tier.sim.sleep_until(sent).await;
+            tier.fabric
+                .core()
+                .traverse(LinkDir::ToClients, wire, reply_payload)
+                .await;
+            tier.fabric
+                .agg_of(tier.fabric_base + idx)
+                .traverse(LinkDir::ToClients, wire, reply_payload)
+                .await;
+            tier.sim.sleep(tier.fabric.latency()).await;
+            let drained = tier.advance_clock(idx, ClockId::CliRx, tier.config.client_nic, wire);
+            tier.sim.sleep_until(drained).await;
+            tier.complete(idx, seq, emitted_at, op);
+        });
+    }
+
+    /// Advances one of a client's virtual NIC clocks by `spec`'s
+    /// transfer time for `wire` bytes and returns the new free instant —
+    /// `max(now, free) + drain`, the arithmetic of a serializing NIC.
+    fn advance_clock(&self, idx: u32, clock: ClockId, spec: NicSpec, wire: usize) -> SimTime {
+        let mut slab = self.slab.borrow_mut();
+        let c = &mut slab[idx as usize];
+        let cell = match clock {
+            ClockId::PortRx => &mut c.port_rx_free,
+            ClockId::PortTx => &mut c.port_tx_free,
+            ClockId::CliRx => &mut c.cli_rx_free,
+        };
+        let free = (*cell).max(self.sim.now().as_nanos()) + spec.transfer_time(wire).0;
+        *cell = free;
+        SimTime(free)
+    }
+
+    fn complete(self: &Rc<Self>, idx: u32, _seq: u32, emitted_at: SimTime, op: FlyOp) {
+        let now = self.sim.now();
+        let finished_client = {
+            let mut slab = self.slab.borrow_mut();
+            let c = &mut slab[idx as usize];
+            c.completed += 1;
+            c.finish = now.as_nanos();
+            c.completed == self.total_ops
+        };
+        if op == FlyOp::Write {
+            let n = self.lat_counter.get();
+            self.lat_counter.set(n + 1);
+            if n.is_multiple_of(u64::from(self.config.latency_stride)) {
+                self.latencies.borrow_mut().push(now.since(emitted_at));
+            }
+        }
+        if finished_client {
+            self.clients_done.set(self.clients_done.get() + 1);
+            if self.clients_done.get() == self.config.clients {
+                self.finished.open();
+            }
+        } else {
+            self.try_emit(idx);
+        }
+    }
+
+    /// Each client's achieved throughput (payload bytes over its own
+    /// first-emission-to-last-reply span), MB/s.
+    pub fn per_client_mbps(&self) -> Vec<f64> {
+        let bytes = u64::from(self.config.writes_per_client) * self.model.write_payload;
+        self.slab
+            .borrow()
+            .iter()
+            .map(|c| mbps(bytes, SimTime(c.finish).since(SimTime(c.first_emit))))
+            .collect()
+    }
+
+    /// Time from the tier's first emission to its last completion.
+    pub fn elapsed(&self) -> SimDuration {
+        let slab = self.slab.borrow();
+        let first = slab.iter().map(|c| c.first_emit).min().unwrap_or(0);
+        let last = slab.iter().map(|c| c.finish).max().unwrap_or(0);
+        SimDuration(last.saturating_sub(first))
+    }
+
+    /// Digest of the strided client-observed WRITE RPC latencies.
+    pub fn rpc_latency(&self) -> LatencyDigest {
+        LatencyDigest::of(&self.latencies.borrow())
+    }
+
+    /// Estimated resident bytes per client: the slab record plus this
+    /// client's amortized share of the shared latency pool, the model,
+    /// and the fabric's per-stage state. The whole point of the tier —
+    /// asserted ≤ 256 in tests and reported in the megafleet CSV.
+    pub fn bytes_per_client(&self) -> usize {
+        let n = self.config.clients as usize;
+        let shared = self.latencies.borrow().capacity() * std::mem::size_of::<SimDuration>()
+            + std::mem::size_of::<BehaviorModel>()
+            + self.fabric.resident_bytes();
+        std::mem::size_of::<FlyClient>() + shared.div_ceil(n)
+    }
+
+    /// The tier's measurements, bundled.
+    pub fn run_summary(&self) -> FlyTierRun {
+        FlyTierRun {
+            per_client_mbps: self.per_client_mbps(),
+            rpc_latency: self.rpc_latency(),
+            elapsed: self.elapsed(),
+            bytes_per_client: self.bytes_per_client(),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ClockId {
+    PortRx,
+    PortTx,
+    CliRx,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GAP_QUANTILES;
+    use nfsperf_net::FabricConfig;
+    use nfsperf_server::ServerConfig;
+
+    fn toy_model() -> BehaviorModel {
+        BehaviorModel {
+            gap_quantiles: std::array::from_fn(|i| SimDuration((i as u64 + 1) * 50_000)),
+            write_wire_bytes: 8328,
+            commit_wire_bytes: 136,
+            write_payload: 8192,
+            writes_per_commit: 16,
+            window: 4,
+        }
+    }
+
+    fn run_tier(clients: u32, writes: u32) -> (Rc<FlyTier>, Rc<NfsServer>) {
+        let sim = Sim::new();
+        let server_nic = NicSpec::gigabit();
+        let fabric = Rc::new(Fabric::new(&sim, FabricConfig::new(server_nic)));
+        let server = NfsServer::new(&sim, ServerConfig::netapp_f85());
+        let tier = FlyTier::launch(
+            &sim,
+            &server,
+            &fabric,
+            toy_model(),
+            FlyTierConfig::new(clients, writes, server_nic),
+        );
+        let t2 = Rc::clone(&tier);
+        sim.run_until(async move { t2.wait_done().await });
+        (tier, server)
+    }
+
+    #[test]
+    fn tier_completes_and_accounts_every_write() {
+        let (tier, server) = run_tier(64, 8);
+        let slim = server.slim_stats();
+        assert_eq!(slim.clients, 64);
+        assert_eq!(slim.writes, 64 * 8);
+        assert_eq!(slim.write_bytes, 64 * 8 * 8192);
+        assert_eq!(slim.commits, 64, "8 writes under wpc=16: one close COMMIT each");
+        let per = tier.per_client_mbps();
+        assert_eq!(per.len(), 64);
+        assert!(per.iter().all(|m| *m > 0.0));
+        assert!(tier.rpc_latency().p99 > SimDuration::ZERO);
+        // No faithful clients attached: the server kept zero per-client
+        // stats entries for the whole tier.
+        assert!(server.per_client_stats().is_empty());
+    }
+
+    #[test]
+    fn tier_is_deterministic() {
+        let (a, sa) = run_tier(32, 4);
+        let (b, sb) = run_tier(32, 4);
+        assert_eq!(a.per_client_mbps(), b.per_client_mbps());
+        assert_eq!(a.elapsed(), b.elapsed());
+        assert_eq!(a.rpc_latency(), b.rpc_latency());
+        assert_eq!(sa.slim_stats(), sb.slim_stats());
+    }
+
+    #[test]
+    fn flyweight_state_stays_under_256_bytes_per_client() {
+        assert!(
+            std::mem::size_of::<FlyClient>() <= 72,
+            "FlyClient grew to {} bytes",
+            std::mem::size_of::<FlyClient>()
+        );
+        let (tier, _server) = run_tier(10_000, 2);
+        let per = tier.bytes_per_client();
+        assert!(
+            per <= 256,
+            "flyweight tier costs {per} resident bytes per client"
+        );
+    }
+
+    #[test]
+    fn emission_gaps_stay_inside_the_calibrated_range_pre_contention() {
+        // One client, unconstrained window: planned emissions must march
+        // by sampled gaps inside the quantile range.
+        let m = toy_model();
+        let mut state = 7u64;
+        let mut last = 0u64;
+        for _ in 0..100 {
+            let g = m.sample_gap(&mut state).0;
+            assert!(g >= m.gap_quantiles[0].0 && g <= m.gap_quantiles[GAP_QUANTILES - 1].0);
+            last += g;
+        }
+        assert!(last > 0);
+    }
+}

@@ -14,7 +14,7 @@ pub mod switch;
 
 pub use frame::{fragments_for, wire_bytes, ETHERNET_OVERHEAD, IP_HEADER, UDP_HEADER};
 pub use nic::{DatagramPayload, Nic, NicSpec};
-pub use switch::{LinkDir, SharedLink, Switch};
+pub use switch::{Fabric, FabricConfig, LinkDir, SharedLink, Switch};
 
 use nfsperf_sim::SimDuration;
 
@@ -23,9 +23,11 @@ use nfsperf_sim::SimDuration;
 /// The switch adds a fixed store-and-forward latency; the paper's
 /// Summit7i is a few microseconds, and end-host interrupt coalescing adds
 /// tens more, so the default one-way latency is 30 µs. A path may also
-/// route `via` a [`SharedLink`] — the server uplink a whole client fleet
-/// contends for — in which case every datagram additionally queues for
-/// that link's directional lane.
+/// route `via` an ordered list of [`SharedLink`] stages — a single server
+/// uplink for the flat fleet [`Switch`], or an aggregation switch *and*
+/// the core uplink for the multi-stage [`switch::Fabric`] — in which case
+/// every datagram additionally queues for each stage's directional lane,
+/// in order.
 #[derive(Clone)]
 pub struct Path {
     /// The local interface.
@@ -34,8 +36,9 @@ pub struct Path {
     pub remote: std::rc::Rc<Nic>,
     /// One-way propagation + switching latency.
     pub latency: SimDuration,
-    /// Shared bottleneck traversed between the endpoints, if any.
-    pub via: Option<(std::rc::Rc<SharedLink>, LinkDir)>,
+    /// Shared bottleneck stages traversed between the endpoints, in
+    /// transmit order (empty for a point-to-point path).
+    pub via: Vec<(std::rc::Rc<SharedLink>, LinkDir)>,
 }
 
 impl Path {
@@ -45,13 +48,14 @@ impl Path {
             local,
             remote,
             latency,
-            via: None,
+            via: Vec::new(),
         }
     }
 
-    /// Routes this path through a shared link in direction `dir`.
+    /// Appends a shared-link stage in direction `dir`; stages are
+    /// traversed in the order they were added.
     pub fn via_shared(mut self, link: std::rc::Rc<SharedLink>, dir: LinkDir) -> Path {
-        self.via = Some((link, dir));
+        self.via.push((link, dir));
         self
     }
 
@@ -66,7 +70,8 @@ impl Path {
             .transmit_routed(&self.remote, self.latency, self.via.clone(), payload);
     }
 
-    /// The reverse path (through the same shared link, opposite lane).
+    /// The reverse path: the same shared-link stages in reverse order,
+    /// each on its opposite lane (replies unwind the fabric inside out).
     pub fn reversed(&self) -> Path {
         Path {
             local: std::rc::Rc::clone(&self.remote),
@@ -74,8 +79,10 @@ impl Path {
             latency: self.latency,
             via: self
                 .via
-                .as_ref()
-                .map(|(link, dir)| (std::rc::Rc::clone(link), dir.flipped())),
+                .iter()
+                .rev()
+                .map(|(link, dir)| (std::rc::Rc::clone(link), dir.flipped()))
+                .collect(),
         }
     }
 }

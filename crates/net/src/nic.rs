@@ -150,17 +150,18 @@ impl Nic {
         latency: SimDuration,
         payload: DatagramPayload,
     ) {
-        self.transmit_routed(dst, latency, None, payload);
+        self.transmit_routed(dst, latency, Vec::new(), payload);
     }
 
-    /// Like [`Nic::transmit`], additionally queueing for a shared
-    /// bottleneck link between serialization and propagation — the
-    /// switch-uplink hop every client in a fleet contends for.
+    /// Like [`Nic::transmit`], additionally queueing for each shared
+    /// bottleneck stage between serialization and propagation, in order —
+    /// the switch-uplink hop every client in a fleet contends for, or the
+    /// aggregation-then-core ladder of a multi-stage fabric.
     pub fn transmit_routed(
         self: &Rc<Self>,
         dst: &Rc<Nic>,
         latency: SimDuration,
-        via: Option<(Rc<crate::SharedLink>, crate::LinkDir)>,
+        via: Vec<(Rc<crate::SharedLink>, crate::LinkDir)>,
         payload: DatagramPayload,
     ) {
         let src = Rc::clone(self);
@@ -197,10 +198,11 @@ impl Nic {
                 }
             }
 
-            // Queue for the shared bottleneck (the switch's server
-            // uplink), if the path crosses one. Lost datagrams were
-            // dropped before reaching it, as on a real ingress port.
-            if let Some((link, dir)) = &via {
+            // Queue for each shared bottleneck stage (aggregation switch,
+            // then the server's core uplink), in path order. Lost
+            // datagrams were dropped before reaching the first stage, as
+            // on a real ingress port.
+            for (link, dir) in &via {
                 link.traverse(*dir, wire_len, payload.len()).await;
             }
 

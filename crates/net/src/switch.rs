@@ -15,9 +15,10 @@
 //! N client NICs, one server behind one uplink — so experiment code can
 //! attach clients one line at a time.
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use nfsperf_sim::{ByteMeter, Counter, Receiver, Semaphore, Sim};
+use nfsperf_sim::{ByteMeter, Counter, Receiver, Semaphore, Sim, SimDuration};
 
 use crate::nic::{DatagramPayload, Nic, NicSpec};
 use crate::Path;
@@ -169,6 +170,148 @@ impl Switch {
     }
 }
 
+/// Parameters of a multi-stage [`Fabric`].
+#[derive(Debug, Clone, Copy)]
+pub struct FabricConfig {
+    /// Clients per aggregation switch (the edge fan-in of each tier-1
+    /// device).
+    pub fanout: usize,
+    /// Each aggregation switch's uplink rate into the core. Provisioned
+    /// well above the core by default, so the *server's* uplink — not the
+    /// fabric — stays the bottleneck, as in the flat [`Switch`] topology.
+    pub agg_spec: NicSpec,
+    /// The core uplink into the server (normally the server NIC's rate).
+    pub core_spec: NicSpec,
+    /// One-way propagation + store-and-forward latency end to end.
+    pub latency: SimDuration,
+}
+
+impl FabricConfig {
+    /// A fabric whose core uplink runs at `core_spec`'s rate: 1024-way
+    /// aggregation switches with 10 Gb/s uplinks, default path latency.
+    pub fn new(core_spec: NicSpec) -> FabricConfig {
+        FabricConfig {
+            fanout: 1024,
+            agg_spec: NicSpec {
+                bandwidth_bps: 10_000_000_000,
+                mtu: core_spec.mtu,
+            },
+            core_spec,
+            latency: Path::default_latency(),
+        }
+    }
+}
+
+/// A two-tier switch fabric: clients → aggregation switches → one core
+/// uplink → the server.
+///
+/// The flat [`Switch`] keeps one `Path` per client; at 10k–1M clients
+/// that is the only per-client network state this topology needs, and
+/// flyweight clients skip even that by traversing the shared stages
+/// directly. Routing is O(1) by construction: client `id` hangs off
+/// aggregation switch `id / fanout` (a dense index, no lookup table or
+/// linear attach scan), and every aggregation switch uplinks into the
+/// same core link.
+pub struct Fabric {
+    sim: Sim,
+    config: FabricConfig,
+    core: Rc<SharedLink>,
+    /// Aggregation-tier uplinks, indexed by `client / fanout`; grown on
+    /// demand as higher client ids route through the fabric.
+    aggs: RefCell<Vec<Rc<SharedLink>>>,
+    /// Next client id to assign (ids are dense, in attach order).
+    next_id: Cell<u32>,
+}
+
+impl Fabric {
+    /// Creates a fabric; aggregation switches materialize lazily as
+    /// client ids route through them.
+    pub fn new(sim: &Sim, config: FabricConfig) -> Fabric {
+        assert!(config.fanout > 0, "a fabric needs a positive fanout");
+        Fabric {
+            sim: sim.clone(),
+            config,
+            core: SharedLink::new(sim, "core-uplink", config.core_spec),
+            aggs: RefCell::new(Vec::new()),
+            next_id: Cell::new(0),
+        }
+    }
+
+    /// The fabric's parameters.
+    pub fn config(&self) -> FabricConfig {
+        self.config
+    }
+
+    /// The core uplink into the server.
+    pub fn core(&self) -> Rc<SharedLink> {
+        Rc::clone(&self.core)
+    }
+
+    /// One-way path latency through the fabric.
+    pub fn latency(&self) -> SimDuration {
+        self.config.latency
+    }
+
+    /// The aggregation switch client `id` hangs off (created on first
+    /// touch). O(1): the route is the index `id / fanout`.
+    pub fn agg_of(&self, id: u32) -> Rc<SharedLink> {
+        let idx = id as usize / self.config.fanout;
+        let mut aggs = self.aggs.borrow_mut();
+        while aggs.len() <= idx {
+            aggs.push(SharedLink::new(&self.sim, "agg-uplink", self.config.agg_spec));
+        }
+        Rc::clone(&aggs[idx])
+    }
+
+    /// Aggregation switches materialized so far.
+    pub fn agg_count(&self) -> usize {
+        self.aggs.borrow().len()
+    }
+
+    /// Reserves `n` dense client ids and returns the first. Flyweight
+    /// tiers claim whole ranges; [`Fabric::attach`] claims one at a time.
+    pub fn alloc_ids(&self, n: u32) -> u32 {
+        let base = self.next_id.get();
+        self.next_id.set(base + n);
+        base
+    }
+
+    /// The client→server shared-link stages for `id`, in traversal
+    /// order: its aggregation uplink, then the core.
+    pub fn stages_to_server(&self, id: u32) -> Vec<(Rc<SharedLink>, LinkDir)> {
+        vec![
+            (self.agg_of(id), LinkDir::ToServer),
+            (self.core(), LinkDir::ToServer),
+        ]
+    }
+
+    /// Attaches one full-fidelity client NIC: assigns the next client
+    /// id, creates the server-side port NIC, and returns the
+    /// client→server path routed through the aggregation tier and the
+    /// core uplink, plus the port's receive queue.
+    pub fn attach(
+        &self,
+        client: &Rc<Nic>,
+        port_spec: NicSpec,
+    ) -> (u32, Path, Receiver<DatagramPayload>) {
+        let id = self.alloc_ids(1);
+        let (port, port_rx) = Nic::new(&self.sim, "server-port", port_spec);
+        let mut path = Path::new(Rc::clone(client), port, self.config.latency);
+        path.via = self.stages_to_server(id);
+        (id, path, port_rx)
+    }
+
+    /// Estimated resident bytes of the fabric's shared state: the core
+    /// plus every materialized aggregation switch (each a [`SharedLink`]
+    /// with two semaphore-backed lanes). Used by the flyweight tier's
+    /// per-client memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        let per_link = std::mem::size_of::<SharedLink>()
+            + 2 * (std::mem::size_of::<Semaphore>() + 32);
+        (1 + self.agg_count()) * per_link
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +364,70 @@ mod tests {
     fn flipped_swaps_directions() {
         assert_eq!(LinkDir::ToServer.flipped(), LinkDir::ToClients);
         assert_eq!(LinkDir::ToClients.flipped(), LinkDir::ToServer);
+    }
+
+    #[test]
+    fn fabric_routes_by_division_and_grows_lazily() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(
+            &sim,
+            FabricConfig {
+                fanout: 4,
+                ..FabricConfig::new(NicSpec::gigabit())
+            },
+        );
+        assert_eq!(fabric.agg_count(), 0, "no switches before first route");
+        let a = fabric.agg_of(0);
+        let b = fabric.agg_of(3);
+        let c = fabric.agg_of(4);
+        assert!(Rc::ptr_eq(&a, &b), "ids 0..4 share one aggregation switch");
+        assert!(!Rc::ptr_eq(&a, &c), "id 4 hangs off the next switch");
+        assert_eq!(fabric.agg_count(), 2);
+        // A far-off id materializes the whole index range below it.
+        fabric.agg_of(41);
+        assert_eq!(fabric.agg_count(), 11);
+        assert!(fabric.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn fabric_path_crosses_agg_then_core_and_reverses() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(
+            &sim,
+            FabricConfig {
+                fanout: 2,
+                ..FabricConfig::new(NicSpec::fast_ethernet())
+            },
+        );
+        let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+        let (id, path, port_rx) = fabric.attach(&cnic, NicSpec::gigabit());
+        assert_eq!(id, 0);
+        assert_eq!(path.via.len(), 2, "agg stage then core stage");
+        let reply = path.reversed();
+        assert_eq!(reply.via.len(), 2);
+        // Reply unwinds inside out: core first, then the agg.
+        assert!(Rc::ptr_eq(&reply.via[0].0, &fabric.core()));
+        assert_eq!(reply.via[0].1, LinkDir::ToClients);
+        path.send(vec![1u8; 1400]);
+        sim.run_until(async move { port_rx.recv().await.unwrap() });
+        assert_eq!(fabric.agg_of(id).datagrams(LinkDir::ToServer), 1);
+        assert_eq!(fabric.core().datagrams(LinkDir::ToServer), 1);
+        reply.send(vec![2u8; 200]);
+        sim.run_until(async move { crx.recv().await.unwrap() });
+        assert_eq!(fabric.core().datagrams(LinkDir::ToClients), 1);
+        assert_eq!(fabric.agg_of(id).datagrams(LinkDir::ToClients), 1);
+    }
+
+    #[test]
+    fn fabric_alloc_ids_reserves_dense_ranges() {
+        let sim = Sim::new();
+        let fabric = Fabric::new(&sim, FabricConfig::new(NicSpec::gigabit()));
+        let (cnic, _crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+        let (first, _, _) = fabric.attach(&cnic, NicSpec::gigabit());
+        let base = fabric.alloc_ids(100_000);
+        let (next, _, _) = fabric.attach(&cnic, NicSpec::gigabit());
+        assert_eq!(first, 0);
+        assert_eq!(base, 1);
+        assert_eq!(next, 100_001, "flyweight range reserved densely");
     }
 }

@@ -22,7 +22,9 @@ pub use sched::{
     ClassedDrr, Drr, Fifo, LatencyDigest, OpClass, ReqMeta, SchedPolicy, Scheduler, ServiceEngine,
     SvcSlot, Ticket,
 };
-pub use server::{BackendConfig, DiskKind, NfsServer, PerClientStats, ServerConfig, ServerStats};
+pub use server::{
+    BackendConfig, DiskKind, NfsServer, PerClientStats, ServerConfig, ServerStats, SlimTierStats,
+};
 
 #[cfg(test)]
 mod tests {
@@ -376,6 +378,36 @@ mod tests {
             let (_fh, _r) = create_and_write(&client, &srv, StableHow::Unstable, 5).await;
         });
         assert!(server.stats().inline_flushes > 0);
+    }
+
+    /// Flyweight requests contend for the same backend as faithful
+    /// traffic (the dirty cache fills and flushes) but leave only shared
+    /// tier counters behind — no per-client stats entry, no digests.
+    #[test]
+    fn flyweight_tier_counts_without_per_client_state() {
+        let (sim, client, server) = build(ServerConfig::linux_knfsd(), NicSpec::gigabit());
+        let srv = Rc::clone(&server);
+        let base = server.register_slim_clients(10_000);
+        sim.run_until(async move {
+            let (_fh, _r) = create_and_write(&client, &srv, StableHow::Unstable, 2).await;
+            for i in 0..4u64 {
+                srv.serve_flyweight_write(base + (i as usize % 10_000), 8192).await;
+            }
+            srv.serve_flyweight_commit(base).await;
+        });
+        let slim = server.slim_stats();
+        assert_eq!(slim.clients, 10_000);
+        assert_eq!(slim.writes, 4);
+        assert_eq!(slim.write_bytes, 4 * 8192);
+        assert_eq!(slim.commits, 1);
+        // Aggregate server stats see the whole mixed load...
+        assert_eq!(server.stats().writes, 6);
+        assert_eq!(server.stats().write_bytes, 6 * 8192);
+        // ...but only the faithful client materialized per-client state.
+        let per_client = server.per_client_stats();
+        assert_eq!(per_client.len(), base);
+        assert_eq!(per_client[0].writes, 2);
+        assert!(server.service_engine().service_samples(base).is_empty());
     }
 
     #[test]

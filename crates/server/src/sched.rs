@@ -540,6 +540,12 @@ pub struct ServiceEngine {
     served_bytes: Counter,
     queue_delay: RefCell<Vec<Vec<SimDuration>>>,
     service_lat: RefCell<Vec<Vec<SimDuration>>>,
+    /// Latency samples are kept only for clients with an id below this
+    /// cap. Unlimited by default (every client gets full digests, the
+    /// pre-flyweight behavior); a megafleet caps it at the faithful-tier
+    /// size so a million flyweight ids cannot materialize a million
+    /// sample vectors.
+    sample_cap: Cell<usize>,
 }
 
 impl ServiceEngine {
@@ -557,7 +563,15 @@ impl ServiceEngine {
             served_bytes: Counter::new(),
             queue_delay: RefCell::new(Vec::new()),
             service_lat: RefCell::new(Vec::new()),
+            sample_cap: Cell::new(usize::MAX),
         })
+    }
+
+    /// Caps per-client latency sampling to clients `0..cap`: clients at
+    /// or above the cap (the flyweight tier) are served and scheduled
+    /// normally but leave no per-client sample vectors behind.
+    pub fn set_sample_cap(&self, cap: usize) {
+        self.sample_cap.set(cap);
     }
 
     /// The configured policy.
@@ -659,8 +673,10 @@ impl ServiceEngine {
 
     fn take_slot(&self, meta: &ReqMeta) {
         self.free.set(self.free.get() - 1);
-        let delay = self.sim.now().since(meta.arrival);
-        record_sample(&self.queue_delay, meta.client, delay);
+        if meta.client < self.sample_cap.get() {
+            let delay = self.sim.now().since(meta.arrival);
+            record_sample(&self.queue_delay, meta.client, delay);
+        }
     }
 
     /// Wakes scheduler picks while slots are free and not already spoken
@@ -679,8 +695,10 @@ impl ServiceEngine {
 
     fn release(&self, meta: &ReqMeta) {
         self.served_bytes.add(meta.bytes);
-        let sojourn = self.sim.now().since(meta.arrival);
-        record_sample(&self.service_lat, meta.client, sojourn);
+        if meta.client < self.sample_cap.get() {
+            let sojourn = self.sim.now().since(meta.arrival);
+            record_sample(&self.service_lat, meta.client, sojourn);
+        }
         self.sched.on_complete(meta);
         self.free.set(self.free.get() + 1);
         self.kick();
@@ -733,6 +751,33 @@ mod tests {
             sched.on_complete(t.meta());
         }
         order
+    }
+
+    /// The flyweight sample cap: clients at or above the cap are served
+    /// normally but leave no latency vectors behind, so a million
+    /// flyweight ids cost the engine nothing.
+    #[test]
+    fn sample_cap_skips_flyweight_latency_vectors() {
+        let sim = Sim::new();
+        let engine = ServiceEngine::new(&sim, 1, SchedPolicy::Fifo);
+        engine.set_sample_cap(1);
+        let e = Rc::clone(&engine);
+        sim.run_until(async move {
+            drop(e.admit(meta(0, OpClass::Write, 8192)).await);
+            drop(e.admit(meta(999_983, OpClass::Write, 8192)).await);
+        });
+        assert_eq!(engine.service_samples(0).len(), 1);
+        assert!(
+            engine.service_samples(999_983).is_empty(),
+            "capped client must not materialize a sample vector"
+        );
+        assert_eq!(
+            engine.digests(999_983),
+            (LatencyDigest::default(), LatencyDigest::default())
+        );
+        // The vectors never grew past the faithful tier.
+        assert!(engine.service_lat.borrow().len() <= 1);
+        assert!(engine.queue_delay.borrow().len() <= 1);
     }
 
     #[test]

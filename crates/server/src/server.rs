@@ -201,6 +201,27 @@ pub struct PerClientStats {
     pub service: LatencyDigest,
 }
 
+/// Aggregate counters for the flyweight ("slim") client tier.
+///
+/// Clients registered through [`NfsServer::register_slim_clients`] share
+/// these counters instead of materializing a [`PerClientStats`] entry and
+/// per-client latency vectors each — the point of the flyweight tier is
+/// that a million clients cost the server a handful of `u64`s, not a
+/// million digests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlimTierStats {
+    /// Flyweight clients registered.
+    pub clients: u64,
+    /// Operations served for the tier.
+    pub ops: u64,
+    /// WRITE operations served for the tier.
+    pub writes: u64,
+    /// Payload bytes written by the tier.
+    pub write_bytes: u64,
+    /// COMMIT operations served for the tier.
+    pub commits: u64,
+}
+
 /// How a reply leaves the server: transports differ only in framing.
 enum ReplySink {
     /// Datagram reply along a UDP path.
@@ -239,6 +260,11 @@ pub struct NfsServer {
     writes: Counter,
     write_bytes: Counter,
     commits: Counter,
+    slim_clients: Cell<u64>,
+    slim_ops: Counter,
+    slim_writes: Counter,
+    slim_write_bytes: Counter,
+    slim_commits: Counter,
     /// Server name for reports.
     pub name: &'static str,
 }
@@ -317,6 +343,106 @@ impl NfsServer {
         update(&mut self.per_client.borrow_mut()[client]);
     }
 
+    /// Reserves `count` flyweight client ids and returns the first one.
+    ///
+    /// Flyweight ids start after every faithful client registered so far;
+    /// they never materialize [`PerClientStats`] or per-client latency
+    /// vectors (the service engine's sample cap is set to the faithful
+    /// population), only the shared [`SlimTierStats`] counters. Requests
+    /// for these ids enter through [`NfsServer::serve_flyweight_write`] /
+    /// [`NfsServer::serve_flyweight_commit`] and contend for the same
+    /// service slots, NVRAM, checkpoints, and dirty cache as everyone
+    /// else. Attach all faithful clients first.
+    pub fn register_slim_clients(&self, count: usize) -> usize {
+        let base = self.per_client.borrow().len();
+        self.engine.set_sample_cap(base);
+        self.slim_clients.set(self.slim_clients.get() + count as u64);
+        base
+    }
+
+    /// Serves one flyweight WRITE of `bytes` payload for client id
+    /// `client`: same checkpoint gate, scheduler admission, CPU cost, and
+    /// backend (NVRAM / dirty cache) as [`NfsServer::handle_write`], but
+    /// without XDR decode, file-system state, or per-client digests.
+    /// Returns when the reply would leave the server.
+    pub async fn serve_flyweight_write(&self, client: usize, bytes: u64) {
+        self.slim_ops.inc();
+        let arrival = self.sim.now();
+        if let Backend::Filer { checkpoint, .. } = &self.backend {
+            checkpoint.pass().await;
+        }
+        let _svc = self.admit(client, OpClass::Write, bytes, arrival).await;
+        self.sim
+            .sleep(self.fixed_op_cost + self.data_time(bytes))
+            .await;
+        match self.backend {
+            Backend::Filer { ref nvram, .. } => {
+                nvram.admit(bytes).await;
+            }
+            Backend::CacheDisk {
+                ref dirty,
+                dirty_cap,
+                ref disk,
+                ref inline_flushes,
+            } => {
+                if dirty.get() + bytes > dirty_cap {
+                    let flush = dirty.get() / 2 + bytes;
+                    inline_flushes.inc();
+                    disk.write_stream(flush).await;
+                    dirty.set(dirty.get().saturating_sub(flush));
+                }
+                dirty.set(dirty.get() + bytes);
+            }
+            Backend::Memory => {}
+        }
+        self.ops.inc();
+        self.writes.inc();
+        self.write_bytes.add(bytes);
+        self.slim_writes.inc();
+        self.slim_write_bytes.add(bytes);
+    }
+
+    /// Serves one flyweight COMMIT for client id `client`: same gate,
+    /// admission, and dirty-cache flush as [`NfsServer::handle_commit`].
+    pub async fn serve_flyweight_commit(&self, client: usize) {
+        self.slim_ops.inc();
+        let arrival = self.sim.now();
+        if let Backend::Filer { checkpoint, .. } = &self.backend {
+            checkpoint.pass().await;
+        }
+        let _svc = self.admit(client, OpClass::Commit, 0, arrival).await;
+        self.sim.sleep(self.fixed_op_cost).await;
+        match self.backend {
+            Backend::Filer { .. } | Backend::Memory => {}
+            Backend::CacheDisk {
+                ref dirty,
+                ref disk,
+                ..
+            } => {
+                let d = dirty.replace(0);
+                if d > 0 {
+                    disk.write_stream(d).await;
+                } else {
+                    disk.barrier().await;
+                }
+            }
+        }
+        self.ops.inc();
+        self.commits.inc();
+        self.slim_commits.inc();
+    }
+
+    /// Snapshot of the flyweight tier's shared counters.
+    pub fn slim_stats(&self) -> SlimTierStats {
+        SlimTierStats {
+            clients: self.slim_clients.get(),
+            ops: self.slim_ops.get(),
+            writes: self.slim_writes.get(),
+            write_bytes: self.slim_write_bytes.get(),
+            commits: self.slim_commits.get(),
+        }
+    }
+
     /// Boots the server state and backend daemons without any transport;
     /// pair with [`NfsServer::attach_udp`] / [`NfsServer::attach_tcp`].
     pub fn new(sim: &Sim, config: ServerConfig) -> Rc<NfsServer> {
@@ -384,6 +510,11 @@ impl NfsServer {
             writes: Counter::new(),
             write_bytes: Counter::new(),
             commits: Counter::new(),
+            slim_clients: Cell::new(0),
+            slim_ops: Counter::new(),
+            slim_writes: Counter::new(),
+            slim_write_bytes: Counter::new(),
+            slim_commits: Counter::new(),
             name: config.name,
         })
     }

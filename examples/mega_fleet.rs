@@ -1,0 +1,43 @@
+//! Megafleet sweep: 1k → 1M flyweight clients against one server.
+//!
+//! Each cell calibrates a behavioral client model from one faithful
+//! probe against the target server, then drives that many flyweights —
+//! plus four embedded full-fidelity clients — through a two-tier switch
+//! fabric into the server. Reports aggregate MB/s, per-tier fairness,
+//! flyweight RPC p99, and resident bytes per flyweight, and writes
+//! `results/megafleet.csv`.
+//!
+//! ```sh
+//! cargo run --release --example mega_fleet [-- --quick]
+//! ```
+//!
+//! Cells fan out over `NFSPERF_JOBS` worker threads (default: the
+//! machine's parallelism); the CSV is bit-identical at any value.
+
+use nfsperf_experiments as exp;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let counts: &[u32] = if quick {
+        exp::MEGAFLEET_QUICK_COUNTS
+    } else {
+        exp::MEGAFLEET_COUNTS
+    };
+
+    println!(
+        "== megafleet sweep ({} flyweights max, {} faithful embedded) ==",
+        counts.last().unwrap(),
+        exp::MEGAFLEET_FAITHFUL
+    );
+    let sweep = exp::megafleet_sweep(
+        counts,
+        &[exp::ServerKind::Filer, exp::ServerKind::Knfsd],
+        quick,
+        nfsperf_sim::default_jobs(),
+    );
+    println!("{}", sweep.render());
+
+    let out = std::path::Path::new("results/megafleet.csv");
+    sweep.write_csv(out).expect("write results/megafleet.csv");
+    println!("wrote {}", out.display());
+}

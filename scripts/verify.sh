@@ -77,6 +77,29 @@ awk -F, 'NR > 1 {
         if (rows == 0) { print "FAIL: empty qos-quick.csv"; exit 1 }
     }' results/qos-quick.csv
 
+echo "==> megafleet smoke run (10k flyweights, --jobs 4 vs --jobs 1 bit-identical)"
+out="$(cargo run -q --release --offline --bin nfsperf -- megafleet --quick --counts 10000 --jobs 4 --out results/megafleet-smoke.csv)"
+echo "$out"
+cargo run -q --release --offline --bin nfsperf -- megafleet --quick --counts 10000 --jobs 1 --out results/megafleet-smoke-2.csv > /dev/null
+cmp results/megafleet-smoke.csv results/megafleet-smoke-2.csv \
+    || { echo "FAIL: megafleet sweep differs between --jobs 4 and --jobs 1"; exit 1; }
+rm -f results/megafleet-smoke-2.csv
+# Every cell must move bytes, keep the faithful tier fair, and hold the
+# flyweight memory budget (column 12: resident bytes per client).
+awk -F, 'NR == 1 {
+        if ($13 != "at_knee") { print "FAIL: megafleet CSV missing at_knee column"; exit 1 }
+    }
+    NR > 1 {
+        rows++
+        if ($4 + 0 <= 0) { print "FAIL: zero aggregate throughput: " $0; exit 1 }
+        if ($8 + 0 < 0.9) { print "FAIL: unfair faithful tier (jain < 0.9): " $0; exit 1 }
+        if ($12 + 0 > 256) { print "FAIL: flyweight over 256 B/client: " $0; exit 1 }
+        if ($11 + 0 <= 0) { print "FAIL: zero simulated events: " $0; exit 1 }
+    }
+    END {
+        if (rows == 0) { print "FAIL: empty megafleet-smoke.csv"; exit 1 }
+    }' results/megafleet-smoke.csv
+
 echo "==> harness micro-benchmark (results/bench.json vs committed baseline)"
 # Compare against the committed baseline; a sweep whose events/sec drops
 # more than the tolerance below it fails the build. The default 30% is

@@ -7,6 +7,7 @@
 //! nfsperf concurrency
 //! nfsperf transport [--quick] [--jobs N]
 //! nfsperf fleet [--quick] [--out FILE] [--jobs N]
+//! nfsperf megafleet [--quick] [--counts LIST] [--out FILE] [--jobs N]
 //! nfsperf qos [--quick] [--out FILE] [--jobs N]
 //! nfsperf bench [--jobs N] [--out FILE] [--against OLD.json] [--tolerance T]
 //! nfsperf help
@@ -23,8 +24,9 @@ use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{
-    figures, fleet_cells, fleet_sweep, qos_run_cells, qos_sweep, run_bonnie, transport_cells,
-    transport_sweep, Scenario, ServerKind, FLEET_CLIENT_COUNTS, LOSS_RATES,
+    figures, fleet_cells, fleet_sweep, megafleet_cells, megafleet_sweep, qos_run_cells, qos_sweep,
+    run_bonnie, transport_cells, transport_sweep, Scenario, ServerKind, FLEET_CLIENT_COUNTS,
+    LOSS_RATES, MEGAFLEET_COUNTS, MEGAFLEET_QUICK_COUNTS,
 };
 use nfsperf_server::SchedPolicy;
 use nfsperf_sim::{runner, BenchReport, SimDuration, SweepStats};
@@ -42,6 +44,7 @@ USAGE:
     nfsperf concurrency
     nfsperf transport [--quick] [--jobs N]
     nfsperf fleet [--quick] [--out FILE] [--jobs N]
+    nfsperf megafleet [--quick] [--counts LIST] [--out FILE] [--jobs N]
     nfsperf qos [--quick] [--out FILE] [--jobs N]
     nfsperf bench [--jobs N] [--out FILE] [--against OLD.json]
                   [--tolerance T]
@@ -67,13 +70,21 @@ COMMANDS:
                 {udp, tcp} through one shared uplink (4 MB per client;
                 --quick for 1-4 clients at 1 MB); writes CSV to --out
                 [results/fleet.csv]
+    megafleet   flyweight fleet sweep: 1k-1M behavioral clients (plus 4
+                embedded faithful clients) through a two-tier switch
+                fabric into {filer, knfsd}; per-cell calibration against
+                the target server; reports aggregate MB/s, per-tier Jain,
+                p99s, and resident bytes per flyweight. --quick stops at
+                100k clients; --counts takes a comma list (e.g.
+                1000,100000). Writes CSV to --out [results/megafleet.csv]
     qos         unfair-workload sweep: one hog (gigabit NIC, 64 RPC
                 slots, 32 KB writes, periodic fsync) vs 7 victims,
                 {filer, knfsd} x {fifo, drr, classed-drr} (--quick for
                 filer only with 4 victims); writes CSV to --out
                 [results/qos.csv]
     bench       micro-benchmark of the sweep harness itself: runs the
-                quick fleet/qos/transport sweeps serially and again at
+                quick fleet/qos/transport/megafleet sweeps serially and
+                again at
                 --jobs, reporting wall-clock and simulated events/sec;
                 writes JSON to --out [results/bench.json]. With
                 --against OLD.json, diffs events/sec and speedup per
@@ -356,6 +367,47 @@ fn cmd_fleet(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_megafleet(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "results/megafleet.csv".into());
+    let counts: Vec<u32> = match args.value("--counts")? {
+        Some(list) => {
+            let parsed: Result<Vec<u32>, _> = list.split(',').map(|s| s.trim().parse()).collect();
+            let parsed = parsed.map_err(|_| format!("bad --counts list: {list}"))?;
+            if parsed.is_empty() || parsed.contains(&0) {
+                return Err(format!("bad --counts list: {list}"));
+            }
+            parsed
+        }
+        None if quick => MEGAFLEET_QUICK_COUNTS.to_vec(),
+        None => MEGAFLEET_COUNTS.to_vec(),
+    };
+    let jobs = args.jobs()?;
+    args.finish()?;
+    println!(
+        "megafleet sweep: {{{}}} flyweights + 4 faithful through a two-tier fabric",
+        counts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let sweep = megafleet_sweep(
+        &counts,
+        &[ServerKind::Filer, ServerKind::Knfsd],
+        quick,
+        jobs,
+    );
+    println!("{}", sweep.render());
+    sweep
+        .write_csv(std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_qos(mut args: Args) -> Result<(), String> {
     let quick = args.flag("--quick");
     let out = args
@@ -442,10 +494,16 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
             qos_run_cells(&[ServerKind::Filer], &scheds, 4, 1 << 20),
         );
         bench_sweep(&mut report, "transport", j, transport_cells(2 << 20, LOSS_RATES));
+        bench_sweep(
+            &mut report,
+            "megafleet",
+            j,
+            megafleet_cells(&[1_000, 10_000], &[ServerKind::Filer], true),
+        );
     }
     print!("{}", report.render());
     if jobs > 1 {
-        for name in ["fleet", "qos", "transport"] {
+        for name in ["fleet", "qos", "transport", "megafleet"] {
             if let Some(s) = report.speedup(name, jobs) {
                 println!("{name}: {s:.2}x speedup at --jobs {jobs}");
             }
@@ -493,6 +551,7 @@ fn main() -> ExitCode {
         "concurrency" => cmd_concurrency(args),
         "transport" => cmd_transport(args),
         "fleet" => cmd_fleet(args),
+        "megafleet" => cmd_megafleet(args),
         "qos" => cmd_qos(args),
         "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => {
