@@ -124,7 +124,7 @@ impl NfsInode {
             }
             let contiguous = run
                 .last()
-                .is_none_or(|last| last.page_index + 1 == req.page_index);
+                .is_none_or(|last| last.file_offset() + last.len() == req.file_offset());
             if (!contiguous || run.len() == wsize_pages) && !run.is_empty() {
                 batches.push(std::mem::take(&mut run));
             }
@@ -157,6 +157,10 @@ impl NfsInode {
     /// Takes the first run of contiguous dirty requests (at most
     /// `wsize_pages` pages), marking it writeback — one `nfs_scan_list`
     /// step: the caller pays for one walk of the index per call.
+    ///
+    /// Contiguity is in bytes, not page indexes: a WRITE RPC covers one
+    /// dense `[offset, offset+count)` range, so a partial page interior
+    /// to a run (a byte hole behind an adjacent page) must end the batch.
     pub fn take_first_dirty_batch(&self, wsize_pages: usize) -> Option<Vec<Rc<NfsPageReq>>> {
         let index = self.index.borrow();
         let mut run: Vec<Rc<NfsPageReq>> = Vec::new();
@@ -166,7 +170,7 @@ impl NfsInode {
             }
             let contiguous = run
                 .last()
-                .is_none_or(|last| last.page_index + 1 == req.page_index);
+                .is_none_or(|last| last.file_offset() + last.len() == req.file_offset());
             if !contiguous || run.len() == wsize_pages {
                 break;
             }

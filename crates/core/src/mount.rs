@@ -24,7 +24,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use nfsperf_kernel::{Kernel, SimFile, VfsError, VfsResult, PAGE_SIZE};
+use nfsperf_kernel::{Kernel, PageSeg, SimFile, VfsError, VfsResult, PAGE_SIZE};
 use nfsperf_net::{DatagramPayload, Path};
 use nfsperf_nfs3::{
     Commit3Args, Commit3Res, Create3Args, Create3Res, CreateMode, NfsProc3, NfsStat3, Read3Args,
@@ -36,7 +36,7 @@ use nfsperf_sunrpc::{Transport, Xprt, XprtConfig};
 use nfsperf_xdr::{Decoder, XdrDecode};
 
 use crate::inode::NfsInode;
-use crate::request::NfsPageReq;
+use crate::request::{NfsPageReq, ReqState};
 use crate::tuning::{ClientTuning, IndexKind, MAX_REQUEST_HARD, MAX_REQUEST_SOFT};
 
 /// Mount options and client behaviour.
@@ -260,6 +260,11 @@ impl NfsMount {
                         self.complete_batch(inode, &batch);
                     }
                     StableHow::Unstable => {
+                        // Pages stay pinned awaiting COMMIT — the memory
+                        // model's contract; only the segment changes.
+                        self.kernel
+                            .mem
+                            .move_pages(PageSeg::Writeback, PageSeg::Unstable, batch.len());
                         inode.batch_unstable(&batch, res.verf);
                     }
                 },
@@ -272,12 +277,18 @@ impl NfsMount {
                 }
                 Err(_) => {
                     self.write_failures.inc();
+                    self.kernel
+                        .mem
+                        .move_pages(PageSeg::Writeback, PageSeg::Dirty, batch.len());
                     inode.batch_redirty(&batch);
                 }
             },
             Err(_) => {
                 // Transport gave up: leave the data dirty for retry.
                 self.write_failures.inc();
+                self.kernel
+                    .mem
+                    .move_pages(PageSeg::Writeback, PageSeg::Dirty, batch.len());
                 inode.batch_redirty(&batch);
             }
         }
@@ -285,10 +296,17 @@ impl NfsMount {
 
     /// Finishes a batch whose data is durable: releases pages and mount
     /// accounting.
+    ///
+    /// Audit note (pinned-until-COMMIT contract): this runs only for
+    /// stable (FILE_SYNC/DATA_SYNC) completions and for server-side
+    /// write errors that drop the data — never for an UNSTABLE reply,
+    /// which moves pages to the `Unstable` segment and keeps them pinned
+    /// until `commit_inode_begun` confirms the verifier.
     fn complete_batch(&self, inode: &Rc<NfsInode>, batch: &[Rc<NfsPageReq>]) {
         for req in batch {
+            let seg = req_seg(req.state());
             inode.finish_request(req);
-            self.kernel.mem.release_page();
+            self.kernel.mem.release_pages(seg, 1);
             self.note_request_gone();
         }
     }
@@ -340,8 +358,10 @@ impl NfsMount {
                                 continue;
                             }
                             if req.verf() == res.verf {
+                                // COMMIT confirmed: the page's unstable
+                                // pin finally drops.
                                 inode.finish_request(req);
-                                self.kernel.mem.release_page();
+                                self.kernel.mem.release_pages(PageSeg::Unstable, 1);
                                 self.note_request_gone();
                             } else {
                                 // Server rebooted: data may be lost, send
@@ -351,6 +371,9 @@ impl NfsMount {
                                 // writers coalescing into it mid-COMMIT
                                 // and corrupt the unstable accounting.
                                 self.verf_mismatches.inc();
+                                self.kernel
+                                    .mem
+                                    .move_pages(PageSeg::Unstable, PageSeg::Dirty, 1);
                                 inode.redirty_unstable(req);
                             }
                         }
@@ -463,7 +486,10 @@ impl NfsMount {
                 // already completed UNSTABLE, the grown range must reach
                 // the server again: back to the dirty list (keeping its
                 // index slot and accounting consistent).
-                if existing.state() == crate::request::ReqState::Unstable {
+                if existing.state() == ReqState::Unstable {
+                    self.kernel
+                        .mem
+                        .move_pages(PageSeg::Unstable, PageSeg::Dirty, 1);
                     inode.redirty_unstable(&existing);
                 }
                 return;
@@ -474,7 +500,13 @@ impl NfsMount {
             self.flush_and_wait(inode).await;
         }
 
-        // Create and index the new request.
+        // Create and index the new request. With foreground throttling a
+        // writer over the dirty ratio first does writeback work itself;
+        // otherwise (2.4 semantics) it parks on the hard limit inside
+        // `pin_dirty_page` until the daemons free pages.
+        if self.config.tuning.fg_throttle {
+            self.balance_dirty_pages(inode).await;
+        }
         kernel.mem.pin_dirty_page().await;
         kernel
             .cpus
@@ -488,6 +520,52 @@ impl NfsMount {
         inode.note_created(seg.index);
         self.note_request_created();
         self.charge_index_walk("nfs_update_request", walked).await;
+    }
+
+    /// `balance_dirty_pages`-style foreground throttling: while the
+    /// pinned total sits at the dirty ratio, the writer schedules write
+    /// batches itself (paying the same scan/flush costs as the daemon)
+    /// and waits for completions instead of parking blind on the hard
+    /// limit. Throughput therefore degrades gradually to server speed:
+    /// each page the writer dirties over the ratio costs it one round of
+    /// its own writeback work.
+    async fn balance_dirty_pages(self: &Rc<Self>, inode: &Rc<NfsInode>) {
+        let mem = &self.kernel.mem;
+        if !mem.over_hard_limit() {
+            return;
+        }
+        mem.note_throttle_event();
+        mem.kick_writeback();
+        let began = self.kernel.sim.now();
+        self.kernel
+            .cpus
+            .work(
+                "balance_dirty_pages",
+                self.kernel.costs.balance_dirty_pages,
+            )
+            .await;
+        while mem.over_hard_limit() {
+            if inode.dirty_requests() > 0 {
+                if let Some(batch) = self.schedule_one_batch(inode, "balance_dirty_pages").await {
+                    self.issue_batches(inode, vec![batch]);
+                    continue;
+                }
+            }
+            if inode.total_requests() == 0 {
+                // Nothing of ours left in flight: the pressure is other
+                // files'/mounts' pages. Fall back to the throttled pin.
+                break;
+            }
+            if self.wants_commit(inode) {
+                let mount = Rc::clone(self);
+                let ino = Rc::clone(inode);
+                self.kernel.sim.spawn(async move {
+                    mount.commit_inode(&ino).await;
+                });
+            }
+            inode.completion.wait().await;
+        }
+        mem.add_throttle_time(self.kernel.sim.now().since(began));
     }
 
     /// Charges the CPU for an index walk (list scan or hash probe).
@@ -535,25 +613,7 @@ impl NfsMount {
     ) -> usize {
         let mut issued = 0;
         while inode.dirty_requests() > 0 {
-            let batch = {
-                let _bkl = self.kernel.bkl.lock(label).await;
-                let scan_cost = match self.config.tuning.index {
-                    IndexKind::SortedList => {
-                        self.kernel.costs.list_scan(inode.index.borrow().len())
-                    }
-                    IndexKind::HashTable => self.kernel.costs.hash_op,
-                };
-                self.kernel
-                    .cpus
-                    .work_exact("nfs_scan_list", scan_cost)
-                    .await;
-                self.kernel
-                    .cpus
-                    .work("nfs_flush_one", self.kernel.costs.flush_setup)
-                    .await;
-                inode.take_first_dirty_batch(self.wsize_pages())
-            };
-            match batch {
+            match self.schedule_one_batch(inode, label).await {
                 Some(batch) => {
                     issued += 1;
                     self.issue_batches(inode, vec![batch]);
@@ -562,6 +622,37 @@ impl NfsMount {
             }
         }
         issued
+    }
+
+    /// One `nfs_scan_list` step: walks the request index under the
+    /// global kernel lock, pays the scan and flush-setup costs, and takes
+    /// the first wsize run of dirty requests, moving its pages to the
+    /// `Writeback` segment. The caller sends the batch.
+    async fn schedule_one_batch(
+        self: &Rc<Self>,
+        inode: &Rc<NfsInode>,
+        label: &'static str,
+    ) -> Option<Vec<Rc<NfsPageReq>>> {
+        let _bkl = self.kernel.bkl.lock(label).await;
+        let scan_cost = match self.config.tuning.index {
+            IndexKind::SortedList => self.kernel.costs.list_scan(inode.index.borrow().len()),
+            IndexKind::HashTable => self.kernel.costs.hash_op,
+        };
+        self.kernel
+            .cpus
+            .work_exact("nfs_scan_list", scan_cost)
+            .await;
+        self.kernel
+            .cpus
+            .work("nfs_flush_one", self.kernel.costs.flush_setup)
+            .await;
+        let batch = inode.take_first_dirty_batch(self.wsize_pages());
+        if let Some(batch) = &batch {
+            self.kernel
+                .mem
+                .move_pages(PageSeg::Dirty, PageSeg::Writeback, batch.len());
+        }
+        batch
     }
 
     /// Schedules all dirty data and waits until every request (including
@@ -583,6 +674,15 @@ impl NfsMount {
             }
             inode.completion.wait().await;
         }
+    }
+}
+
+/// The memory-model segment a request's pinned page lives in.
+fn req_seg(state: ReqState) -> PageSeg {
+    match state {
+        ReqState::Dirty => PageSeg::Dirty,
+        ReqState::Writeback => PageSeg::Writeback,
+        ReqState::Unstable => PageSeg::Unstable,
     }
 }
 

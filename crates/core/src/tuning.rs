@@ -42,6 +42,12 @@ pub struct ClientTuning {
     /// Hold the global kernel lock across `sock_sendmsg` (the
     /// Figure 5→6 / Table 1 fix removes this).
     pub bkl_around_sendmsg: bool,
+    /// `balance_dirty_pages`-style foreground throttling: a writer over
+    /// the dirty ratio synchronously flushes a write batch before
+    /// pinning instead of just parking on the hard limit, so throughput
+    /// degrades gradually to server speed (modern dirty-throttling
+    /// semantics; off in every 2.4-era preset).
+    pub fg_throttle: bool,
 }
 
 impl ClientTuning {
@@ -51,6 +57,7 @@ impl ClientTuning {
             sync_flush_limits: true,
             index: IndexKind::SortedList,
             bkl_around_sendmsg: true,
+            fg_throttle: false,
         }
     }
 
@@ -80,13 +87,29 @@ impl ClientTuning {
         }
     }
 
+    /// The full patch plus `balance_dirty_pages`-style foreground
+    /// throttling — the CAWL-regime client with modern dirty-throttling
+    /// semantics.
+    pub fn cawl() -> ClientTuning {
+        ClientTuning {
+            fg_throttle: true,
+            ..ClientTuning::full_patch()
+        }
+    }
+
     /// Short name for reports.
     pub fn label(&self) -> &'static str {
-        match (self.sync_flush_limits, self.index, self.bkl_around_sendmsg) {
-            (true, IndexKind::SortedList, true) => "linux-2.4.4",
-            (false, IndexKind::SortedList, true) => "no-flush",
-            (false, IndexKind::HashTable, true) => "hash-table",
-            (false, IndexKind::HashTable, false) => "full-patch",
+        match (
+            self.sync_flush_limits,
+            self.index,
+            self.bkl_around_sendmsg,
+            self.fg_throttle,
+        ) {
+            (true, IndexKind::SortedList, true, false) => "linux-2.4.4",
+            (false, IndexKind::SortedList, true, false) => "no-flush",
+            (false, IndexKind::HashTable, true, false) => "hash-table",
+            (false, IndexKind::HashTable, false, false) => "full-patch",
+            (false, IndexKind::HashTable, false, true) => "cawl",
             _ => "custom",
         }
     }
@@ -135,6 +158,14 @@ mod tests {
             },
             f3
         );
+        let f4 = ClientTuning::cawl();
+        assert_eq!(
+            ClientTuning {
+                fg_throttle: true,
+                ..f3
+            },
+            f4
+        );
     }
 
     #[test]
@@ -144,6 +175,7 @@ mod tests {
             ClientTuning::no_flush().label(),
             ClientTuning::hash_table().label(),
             ClientTuning::full_patch().label(),
+            ClientTuning::cawl().label(),
         ];
         for (i, a) in labels.iter().enumerate() {
             for b in &labels[i + 1..] {
@@ -154,6 +186,7 @@ mod tests {
             sync_flush_limits: true,
             index: IndexKind::HashTable,
             bkl_around_sendmsg: true,
+            fg_throttle: false,
         };
         assert_eq!(custom.label(), "custom");
     }

@@ -4,7 +4,7 @@
 use std::rc::Rc;
 
 use nfsperf_client::{ClientTuning, MountConfig, NfsFile, NfsMount, MAX_REQUEST_SOFT};
-use nfsperf_kernel::{CostTable, Kernel, KernelConfig, SimFile};
+use nfsperf_kernel::{CostTable, Kernel, KernelConfig, PageSeg, SimFile};
 use nfsperf_net::{Nic, NicSpec, Path};
 use nfsperf_server::{NfsServer, ServerConfig};
 use nfsperf_sim::{Sim, SimDuration};
@@ -530,4 +530,214 @@ fn read_counts_past_u32_are_not_truncated() {
         assert_eq!(n, 64 * 1024, "EOF bounds the read, not u32 truncation");
         file.close().await.unwrap();
     });
+}
+
+/// Unstable pages must stay pinned in client memory until a COMMIT with
+/// a matching verifier lands: the server is allowed to lose its cached
+/// copy, so the client cannot release (and reuse) the page earlier. The
+/// pinned count is tracked per segment through the whole
+/// unstable-write → reboot → COMMIT-mismatch → redirty → rewrite cycle
+/// and must drain to zero only once the data is durable.
+#[test]
+fn unstable_pages_stay_pinned_until_commit() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::linux_knfsd(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    let kernel = w.kernel.clone();
+    let sim = w.sim.clone();
+    w.sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        sequential_write(&file, 512 * 1024).await;
+        while file.inode().unstable_requests() == 0 {
+            file.inode().completion.wait().await;
+        }
+        // In the unstable window every request still pins its page, and
+        // the unstable segment matches the inode's request count.
+        let inode = file.inode();
+        assert_eq!(kernel.mem.dirty_pages(), inode.total_requests());
+        assert_eq!(
+            kernel.mem.seg_pages(PageSeg::Unstable),
+            inode.unstable_requests(),
+            "uncommitted pages must sit pinned in the unstable segment"
+        );
+        // Server reboots: cached unstable data is gone, verifier changes.
+        server.reboot();
+        sim.sleep(SimDuration::from_micros(100)).await;
+        // The COMMIT mismatch forces a redirty + rewrite; because the
+        // pages were never released, the client can replay them.
+        file.fsync().await.unwrap();
+        file.close().await.unwrap();
+        let fh = file.inode().fh;
+        assert_eq!(server.fs.size_of(&fh).unwrap(), 512 * 1024);
+    });
+    assert!(w.mount.stats().verf_mismatches > 0);
+    assert_eq!(w.kernel.mem.dirty_pages(), 0, "all pages released after durable COMMIT");
+    for seg in [PageSeg::Dirty, PageSeg::Writeback, PageSeg::Unstable] {
+        assert_eq!(w.kernel.mem.seg_pages(seg), 0);
+    }
+}
+
+/// With `fg_throttle` (the cawl tuning) a writer over the dirty ratio
+/// does foreground writeback instead of parking: dirty memory is bounded
+/// at the hard limit, the run is paced to server speed, and every byte
+/// still lands.
+#[test]
+fn foreground_throttling_bounds_dirty_and_lands_all_bytes() {
+    let sim = Sim::new();
+    let costs = CostTable {
+        cpu_jitter_frac: 0.0,
+        ..CostTable::default()
+    };
+    // Small RAM so the test is fast: 16 MB, writing 2x RAM.
+    let kernel = Kernel::new(
+        &sim,
+        KernelConfig {
+            ram_bytes: 16 << 20,
+            costs,
+            ..KernelConfig::default()
+        },
+    );
+    let (cnic, crx) = Nic::new(&sim, "client", NicSpec::gigabit());
+    let (snic, srx) = Nic::new(&sim, "server", NicSpec::gigabit());
+    let to_server = Path::new(cnic, snic, Path::default_latency());
+    let server = NfsServer::spawn(&sim, srx, to_server.reversed(), ServerConfig::netapp_f85());
+    let mount = NfsMount::mount(
+        &kernel,
+        to_server,
+        crx,
+        MountConfig {
+            tuning: ClientTuning::cawl(),
+            ..MountConfig::default()
+        },
+    );
+    let k2 = kernel.clone();
+    let elapsed = sim.run_until(async move {
+        let file = mount.create("bench").await.unwrap();
+        let t0 = k2.sim.now();
+        sequential_write(&file, 32 << 20).await; // 2x RAM
+        let t = k2.sim.now().since(t0);
+        file.close().await.unwrap();
+        t
+    });
+    assert!(kernel.mem.throttle_events() > 0, "2x RAM must cross the dirty ratio");
+    assert!(
+        kernel.mem.peak_dirty_pages() <= kernel.mem.hard_limit(),
+        "foreground writeback must bound dirty memory at the hard limit"
+    );
+    assert!(
+        elapsed > SimDuration::from_millis(450),
+        "a 2x-RAM write cannot run at memory speed, took {elapsed}"
+    );
+    assert_eq!(kernel.mem.dirty_pages(), 0);
+    assert_eq!(server.stats().write_bytes, 32 << 20, "every byte lands despite throttling");
+}
+
+/// Property: any interleaving of writes, fsyncs, sleeps, and server
+/// reboots drains to zero pinned pages once the file is closed, and the
+/// server ends up with the full file.
+#[test]
+fn random_write_interleavings_drain_to_zero_pinned() {
+    use nfsperf_sim::proptest::{check, CaseOutcome, Gen};
+    check(
+        "mount_drain_to_zero",
+        |g: &mut Gen| g.vec(1, 20, |g| (g.any_u8(), g.u64_in(0, 96), g.u64_in(1, 64))),
+        |ops: &Vec<(u8, u64, u64)>| match run_mount_script(ops) {
+            Ok(()) => CaseOutcome::Pass,
+            Err(m) => CaseOutcome::Fail(m),
+        },
+    );
+}
+
+/// Drives one world through the op script; returns Err on any violated
+/// invariant.
+fn run_mount_script(ops: &[(u8, u64, u64)]) -> Result<(), String> {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::linux_knfsd(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    let sim = w.sim.clone();
+    let ops = ops.to_vec();
+    let (max_end, fh) = w.sim.run_until(async move {
+        let file = mount.create("prop").await.unwrap();
+        let mut max_end = 0u64;
+        for &(kind, off_pages, len_kb) in &ops {
+            match kind % 8 {
+                0..=3 => {
+                    let off = off_pages * 4096;
+                    // Shrunk candidates may fall below the generator's
+                    // range; a write is at least 1 KB.
+                    let len = len_kb.max(1) * 1024;
+                    file.write(off, len).await.unwrap();
+                    max_end = max_end.max(off + len);
+                }
+                4 => file.fsync().await.unwrap(),
+                5 => sim.sleep(SimDuration::from_micros(200)).await,
+                6 => {
+                    // Unaligned write that cannot start on a page edge.
+                    let off = off_pages * 4096 + 512;
+                    file.write(off, 100).await.unwrap();
+                    max_end = max_end.max(off + 100);
+                }
+                _ => {
+                    server.reboot();
+                    sim.sleep(SimDuration::from_micros(50)).await;
+                }
+            }
+        }
+        file.fsync().await.unwrap();
+        file.close().await.unwrap();
+        (max_end, file.inode().fh)
+    });
+    if w.kernel.mem.dirty_pages() != 0 {
+        return Err(format!(
+            "{} pages still pinned after close",
+            w.kernel.mem.dirty_pages()
+        ));
+    }
+    for seg in [PageSeg::Dirty, PageSeg::Writeback, PageSeg::Unstable] {
+        if w.kernel.mem.seg_pages(seg) != 0 {
+            return Err(format!("segment {seg:?} not drained"));
+        }
+    }
+    match w.server.fs.size_of(&fh) {
+        Ok(size) if size == max_end => Ok(()),
+        Ok(size) => Err(format!("server has {size} bytes, client wrote {max_end}")),
+        Err(e) => Err(format!("file missing on server: {e:?}")),
+    }
+}
+
+/// A WRITE batch is one dense byte range on the wire. Two requests on
+/// adjacent pages whose byte ranges do not touch (the first page is
+/// partial) used to coalesce by page index, making the RPC deposit the
+/// second request's bytes at the wrong offset.
+#[test]
+fn partial_page_hole_splits_the_write_batch() {
+    let w = world(
+        ClientTuning::full_patch(),
+        ServerConfig::netapp_f85(),
+        NicSpec::gigabit(),
+    );
+    let mount = Rc::clone(&w.mount);
+    let server = Rc::clone(&w.server);
+    w.sim.run_until(async move {
+        let file = mount.create("holey").await.unwrap();
+        // Page 0: bytes [0, 1024). Page 1: bytes [4096, 5120). Adjacent
+        // pages, but a [1024, 4096) hole between the byte ranges.
+        file.write(0, 1024).await.unwrap();
+        file.write(4096, 1024).await.unwrap();
+        file.fsync().await.unwrap();
+        file.close().await.unwrap();
+        assert_eq!(server.fs.size_of(&file.inode().fh).unwrap(), 5120);
+    });
+    assert_eq!(
+        w.server.stats().writes, 2,
+        "byte-discontiguous requests must go in separate WRITE RPCs"
+    );
 }

@@ -9,6 +9,7 @@
 //! CSVs and ASCII charts.
 
 pub mod ablations;
+pub mod cawl;
 pub mod concurrency;
 pub mod figures;
 pub mod fleet;
@@ -22,6 +23,10 @@ pub use ablations::{
     commit_threshold_sweep, cpu_ablation, mtu_ablation, nvram_sweep, slot_table_sweep,
     soft_limit_sweep, workload_comparison, wsize_sweep, CpuAblation, MtuAblation,
     WorkloadComparison,
+};
+pub use cawl::{
+    cawl_cells, cawl_sweep, run_cawl, CawlCell, CawlSweep, CAWL_FILE_HALVES, CAWL_QUICK_RAM_SIZES,
+    CAWL_QUICK_SERVERS, CAWL_RAM_SIZES, CAWL_SERVERS,
 };
 pub use concurrency::{concurrent_writers, future_work_comparison, ConcurrencyResult, Topology};
 pub use fleet::{

@@ -156,6 +156,7 @@ pub fn run_megafleet(config: &MegaConfig) -> MegaRun {
                     .seed
                     .wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
                 costs: CostTable::default(),
+                mem: nfsperf_kernel::MemTuning::default(),
             },
         );
         let (cnic, crx) = Nic::new(&sim, "client", config.client_nic);

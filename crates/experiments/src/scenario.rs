@@ -6,7 +6,7 @@ use std::rc::Rc;
 use nfsperf_bonnie::{BonnieConfig, BonnieReport};
 use nfsperf_client::{ClientTuning, MountConfig, NfsFile, NfsMount};
 use nfsperf_ext2::Ext2Fs;
-use nfsperf_kernel::{CostTable, Kernel, KernelConfig};
+use nfsperf_kernel::{CostTable, Kernel, KernelConfig, MemTuning};
 use nfsperf_net::{Nic, NicSpec, Path};
 use nfsperf_server::{NfsServer, ServerConfig, ServerStats};
 use nfsperf_sim::{LockStats, ProfileRow, Sim};
@@ -22,6 +22,10 @@ pub enum ServerKind {
     Knfsd,
     /// The generic server on 100 Mb/s Ethernet.
     Slow100,
+    /// A faster-than-anything-in-the-paper prototype (memory-backed,
+    /// wide concurrency) for the CAWL "faster server, slower client"
+    /// re-test.
+    Fast,
 }
 
 impl ServerKind {
@@ -31,6 +35,7 @@ impl ServerKind {
             ServerKind::Filer => ServerConfig::netapp_f85(),
             ServerKind::Knfsd => ServerConfig::linux_knfsd(),
             ServerKind::Slow100 => ServerConfig::slow_100bt(),
+            ServerKind::Fast => ServerConfig::fast_prototype(),
         }
     }
 
@@ -42,6 +47,7 @@ impl ServerKind {
             // slot; the paper observes ~26 MB/s sustained.
             ServerKind::Knfsd => NicSpec::bus_limited(26_000_000),
             ServerKind::Slow100 => NicSpec::fast_ethernet(),
+            ServerKind::Fast => NicSpec::gigabit(),
         }
     }
 
@@ -51,6 +57,7 @@ impl ServerKind {
             ServerKind::Filer => "netapp-filer",
             ServerKind::Knfsd => "linux-nfs-server",
             ServerKind::Slow100 => "slow-100bt",
+            ServerKind::Fast => "fast-prototype",
         }
     }
 }
@@ -74,6 +81,8 @@ pub struct Scenario {
     pub ncpus: usize,
     /// Client CPU cost table.
     pub costs: CostTable,
+    /// Client dirty-memory thresholds (default: 2.4 `bdflush` ratios).
+    pub mem: MemTuning,
     /// Deterministic seed.
     pub seed: u64,
     /// Record per-call latencies (disable for big sweeps).
@@ -99,6 +108,7 @@ impl Scenario {
             ram_bytes: 256 << 20,
             ncpus: 2,
             costs: CostTable::default(),
+            mem: MemTuning::default(),
             seed: 0x1f5,
             record_latencies: true,
             loss: 0.0,
@@ -157,6 +167,11 @@ pub struct RunOutput {
     pub peak_dirty_pages: usize,
     /// Times the writer hit the memory hard limit.
     pub throttle_events: u64,
+    /// Total time writers spent throttled (blocked or doing foreground
+    /// writeback).
+    pub throttle_time: nfsperf_sim::SimDuration,
+    /// The client's dirty-page hard limit, in pages.
+    pub hard_limit_pages: usize,
     /// Datagrams the client NIC dropped (zero unless `Scenario::loss`).
     pub client_drops: u64,
     /// TCP endpoint counters, when the mount ran over TCP.
@@ -175,6 +190,7 @@ pub fn run_bonnie(scenario: &Scenario, file_size: u64) -> RunOutput {
             ram_bytes: scenario.ram_bytes,
             seed: scenario.seed,
             costs: scenario.costs.clone(),
+            mem: scenario.mem,
         },
     );
     let (cnic, crx) = Nic::with_loss(&sim, "client", scenario.client_nic, scenario.loss, scenario.seed);
@@ -215,6 +231,8 @@ pub fn run_bonnie(scenario: &Scenario, file_size: u64) -> RunOutput {
         fragments_sent: cnic.fragments_sent(),
         peak_dirty_pages: kernel.mem.peak_dirty_pages(),
         throttle_events: kernel.mem.throttle_events(),
+        throttle_time: kernel.mem.throttle_time(),
+        hard_limit_pages: kernel.mem.hard_limit(),
         client_drops: cnic.drops(),
         tcp_stats: mount.xprt().tcp().map(|x| x.tcp_stats()),
     }
@@ -236,6 +254,7 @@ where
             ram_bytes: scenario.ram_bytes,
             seed: scenario.seed,
             costs: scenario.costs.clone(),
+            mem: scenario.mem,
         },
     );
     let (cnic, crx) = Nic::with_loss(&sim, "client", scenario.client_nic, scenario.loss, scenario.seed);

@@ -11,7 +11,7 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use nfsperf_kernel::{page, Kernel, SimFile, VfsError, VfsResult};
+use nfsperf_kernel::{page, Kernel, PageSeg, SimFile, VfsError, VfsResult};
 use nfsperf_server::DiskModel;
 use nfsperf_sim::{SimDuration, WaitQueue};
 
@@ -91,11 +91,14 @@ impl Ext2Fs {
         }
         self.dirty_pages.set(self.dirty_pages.get() - todo);
         self.in_flight_pages.set(self.in_flight_pages.get() + todo);
+        self.kernel
+            .mem
+            .move_pages(PageSeg::Dirty, PageSeg::Writeback, todo as usize);
         self.disk.write_stream(todo * page::PAGE_SIZE).await;
         self.in_flight_pages.set(self.in_flight_pages.get() - todo);
-        for _ in 0..todo {
-            self.kernel.mem.release_page();
-        }
+        self.kernel
+            .mem
+            .release_pages(PageSeg::Writeback, todo as usize);
         self.clean_event.wake_all();
     }
 

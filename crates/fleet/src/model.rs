@@ -165,6 +165,7 @@ pub fn calibrate(config: &CalibrationConfig) -> Calibration {
             // the same machine the mixed fleet embeds.
             seed: config.seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
             costs: CostTable::default(),
+            mem: nfsperf_kernel::MemTuning::default(),
         },
     );
     let (cnic, crx) = Nic::new(&sim, "probe", config.client_nic);

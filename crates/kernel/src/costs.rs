@@ -49,6 +49,10 @@ pub struct CostTable {
     pub flush_setup: SimDuration,
     /// ext2: copy 4 KiB into the page cache and mark buffers dirty.
     pub ext2_page_write: SimDuration,
+    /// Entering `balance_dirty_pages`-style foreground throttling: the
+    /// dirty-ratio check plus scheduling bookkeeping, charged once per
+    /// excursion over the dirty ratio.
+    pub balance_dirty_pages: SimDuration,
     /// Multiplicative jitter applied to every CPU charge.
     pub cpu_jitter_frac: f64,
 }
@@ -71,6 +75,7 @@ impl CostTable {
             commit_write_locked: SimDuration::from_nanos(6_000),
             flush_setup: SimDuration::from_nanos(4_000),
             ext2_page_write: SimDuration::from_nanos(19_000),
+            balance_dirty_pages: SimDuration::from_nanos(3_000),
             cpu_jitter_frac: 0.08,
         }
     }

@@ -18,7 +18,7 @@ use nfsperf_sim::{Profiler, Sim, SimLock, SimRng};
 
 pub use costs::CostTable;
 pub use cpu::CpuPool;
-pub use memory::MemoryModel;
+pub use memory::{MemTuning, MemoryModel, PageSeg};
 pub use page::{page_index, page_start, pages_for, split_into_pages, PageSegment, PAGE_SIZE};
 pub use vfs::{SimFile, VfsError, VfsResult};
 
@@ -33,6 +33,9 @@ pub struct KernelConfig {
     pub seed: u64,
     /// CPU cost table.
     pub costs: CostTable,
+    /// Dirty-memory thresholds (defaults reproduce 2.4's `bdflush`
+    /// constants exactly).
+    pub mem: MemTuning,
 }
 
 impl Default for KernelConfig {
@@ -42,6 +45,7 @@ impl Default for KernelConfig {
             ram_bytes: 256 * 1024 * 1024,
             seed: 0x5eed,
             costs: CostTable::default(),
+            mem: MemTuning::default(),
         }
     }
 }
@@ -84,7 +88,11 @@ impl Kernel {
             sim: sim.clone(),
             cpus,
             bkl: Rc::new(SimLock::new(sim)),
-            mem: Rc::new(MemoryModel::for_ram(sim, config.ram_bytes)),
+            mem: Rc::new(MemoryModel::for_ram_tuned(
+                sim,
+                config.ram_bytes,
+                config.mem,
+            )),
             profiler,
             rng,
             costs: Rc::new(config.costs),

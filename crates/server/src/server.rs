@@ -145,6 +145,23 @@ impl ServerConfig {
             sched: SchedPolicy::Fifo,
         }
     }
+
+    /// A hypothetical fast prototype: wide service concurrency, cheap
+    /// per-op cost, memory-speed backend on a gigabit wire. Used by the
+    /// CAWL regime sweep to re-test the paper's "a faster server makes
+    /// the *client* slower" observation — fast replies steal client CPU
+    /// from the writer in the cache-fit regime.
+    pub fn fast_prototype() -> ServerConfig {
+        ServerConfig {
+            name: "fast-prototype",
+            concurrency: 8,
+            fixed_op_cost: SimDuration::from_micros(10),
+            data_rate_bps: 400_000_000,
+            backend: BackendConfig::Memory,
+            write_error_after: None,
+            sched: SchedPolicy::Fifo,
+        }
+    }
 }
 
 enum Backend {

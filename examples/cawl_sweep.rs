@@ -1,0 +1,26 @@
+//! CAWL regime sweep: client RAM × server speed × file size, under the
+//! cache-aware client tuning (full patch + foreground throttling).
+//! Writes `results/cawl.csv` and prints the table with regime markers.
+//!
+//! Run with `cargo run --release --example cawl_sweep [-- --quick]`.
+//!
+//! Cells fan out over `NFSPERF_JOBS` worker threads (default: the
+//! machine's parallelism); the CSV is bit-identical at any value.
+
+use nfsperf_experiments::{
+    cawl_sweep, ServerKind, CAWL_QUICK_RAM_SIZES, CAWL_QUICK_SERVERS, CAWL_RAM_SIZES, CAWL_SERVERS,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (rams, servers): (&[u64], &[ServerKind]) = if quick {
+        (&CAWL_QUICK_RAM_SIZES, &CAWL_QUICK_SERVERS)
+    } else {
+        (&CAWL_RAM_SIZES, &CAWL_SERVERS)
+    };
+    let sweep = cawl_sweep(rams, servers, nfsperf_sim::default_jobs());
+    print!("{}", sweep.render());
+    let path = std::path::Path::new("results/cawl.csv");
+    sweep.write_csv(path).expect("write results/cawl.csv");
+    println!("wrote {}", path.display());
+}

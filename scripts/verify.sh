@@ -100,6 +100,31 @@ awk -F, 'NR == 1 {
         if (rows == 0) { print "FAIL: empty megafleet-smoke.csv"; exit 1 }
     }' results/megafleet-smoke.csv
 
+echo "==> cawl smoke run (quick, --jobs 4 vs --jobs 1 bit-identical)"
+out="$(cargo run -q --release --offline --bin nfsperf -- cawl --quick --jobs 4 --out results/cawl-quick.csv)"
+echo "$out"
+cargo run -q --release --offline --bin nfsperf -- cawl --quick --jobs 1 --out results/cawl-quick-2.csv > /dev/null
+cmp results/cawl-quick.csv results/cawl-quick-2.csv \
+    || { echo "FAIL: cawl sweep differs between --jobs 4 and --jobs 1"; exit 1; }
+rm -f results/cawl-quick-2.csv
+# Both regimes must appear; a file under the dirty ratio never throttles;
+# a throttled cell pins exactly at the hard limit (the knee); every cell
+# moves data.
+awk -F, '
+    NR > 1 {
+        rows++
+        if ($11 == "cache-fit") fit++
+        if ($11 == "writeback-bound") bound++
+        if ($4 + 0 == 0.5 && $7 + 0 != 0) { print "FAIL: sub-ratio cell throttled: " $0; exit 1 }
+        if ($7 + 0 > 0 && $9 != $10) { print "FAIL: throttled cell not pinned at hard limit: " $0; exit 1 }
+        if ($5 + 0 <= 0) { print "FAIL: zero app throughput: " $0; exit 1 }
+    }
+    END {
+        if (rows == 0) { print "FAIL: empty cawl-quick.csv"; exit 1 }
+        if (!fit || !bound) { print "FAIL: cawl sweep must show both regimes"; exit 1 }
+    }' results/cawl-quick.csv
+rm -f results/cawl-quick.csv
+
 echo "==> harness micro-benchmark (results/bench.json vs committed baseline)"
 # Compare against the committed baseline; a sweep whose events/sec drops
 # more than the tolerance below it fails the build. The default 30% is

@@ -9,6 +9,7 @@
 //! nfsperf fleet [--quick] [--out FILE] [--jobs N]
 //! nfsperf megafleet [--quick] [--counts LIST] [--out FILE] [--jobs N]
 //! nfsperf qos [--quick] [--out FILE] [--jobs N]
+//! nfsperf cawl [--quick] [--out FILE] [--jobs N]
 //! nfsperf bench [--jobs N] [--out FILE] [--against OLD.json] [--tolerance T]
 //! nfsperf help
 //! ```
@@ -24,8 +25,9 @@ use std::process::ExitCode;
 
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{
-    figures, fleet_cells, fleet_sweep, megafleet_cells, megafleet_sweep, qos_run_cells, qos_sweep,
-    run_bonnie, transport_cells, transport_sweep, Scenario, ServerKind, FLEET_CLIENT_COUNTS,
+    cawl_cells, cawl_sweep, figures, fleet_cells, fleet_sweep, megafleet_cells, megafleet_sweep,
+    qos_run_cells, qos_sweep, run_bonnie, transport_cells, transport_sweep, Scenario, ServerKind,
+    CAWL_QUICK_RAM_SIZES, CAWL_QUICK_SERVERS, CAWL_RAM_SIZES, CAWL_SERVERS, FLEET_CLIENT_COUNTS,
     LOSS_RATES, MEGAFLEET_COUNTS, MEGAFLEET_QUICK_COUNTS,
 };
 use nfsperf_server::SchedPolicy;
@@ -46,13 +48,15 @@ USAGE:
     nfsperf fleet [--quick] [--out FILE] [--jobs N]
     nfsperf megafleet [--quick] [--counts LIST] [--out FILE] [--jobs N]
     nfsperf qos [--quick] [--out FILE] [--jobs N]
+    nfsperf cawl [--quick] [--out FILE] [--jobs N]
     nfsperf bench [--jobs N] [--out FILE] [--against OLD.json]
                   [--tolerance T]
     nfsperf help
 
 OPTIONS (run):
-    --tuning    linux-2.4.4 | no-flush | hash-table | full-patch   [full-patch]
-    --server    filer | knfsd | slow                               [filer]
+    --tuning    linux-2.4.4 | no-flush | hash-table | full-patch
+                | cawl (full patch + foreground throttling)        [full-patch]
+    --server    filer | knfsd | slow | fast                        [filer]
     --size-mb   file size in MB                                    [100]
     --cpus      client CPUs                                        [2]
     --ram-mb    client RAM in MB                                   [256]
@@ -82,8 +86,14 @@ COMMANDS:
                 {filer, knfsd} x {fifo, drr, classed-drr} (--quick for
                 filer only with 4 victims); writes CSV to --out
                 [results/qos.csv]
+    cawl        cache-aware memory-model regime sweep: client RAM
+                {64 MB, 256 MB, 1 GB} x server {filer, knfsd, fast} x
+                file size {0.5x, 1x, 2x, 4x RAM} under the cawl tuning;
+                marks each cell cache-fit or writeback-bound (--quick
+                for 16 MB RAM x {filer, fast}); writes CSV to --out
+                [results/cawl.csv]
     bench       micro-benchmark of the sweep harness itself: runs the
-                quick fleet/qos/transport/megafleet sweeps serially and
+                quick fleet/qos/transport/cawl/megafleet sweeps serially and
                 again at
                 --jobs, reporting wall-clock and simulated events/sec;
                 writes JSON to --out [results/bench.json]. With
@@ -103,6 +113,7 @@ fn parse_tuning(s: &str) -> Option<ClientTuning> {
         "no-flush" => ClientTuning::no_flush(),
         "hash-table" | "normal" => ClientTuning::hash_table(),
         "full-patch" | "no-lock" => ClientTuning::full_patch(),
+        "cawl" => ClientTuning::cawl(),
         _ => return None,
     })
 }
@@ -112,6 +123,7 @@ fn parse_server(s: &str) -> Option<ServerKind> {
         "filer" | "netapp" => ServerKind::Filer,
         "knfsd" | "linux" => ServerKind::Knfsd,
         "slow" | "100bt" => ServerKind::Slow100,
+        "fast" => ServerKind::Fast,
         _ => return None,
     })
 }
@@ -440,6 +452,32 @@ fn cmd_qos(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_cawl(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "results/cawl.csv".into());
+    let jobs = args.jobs()?;
+    args.finish()?;
+    let (rams, servers): (&[u64], &[ServerKind]) = if quick {
+        (&CAWL_QUICK_RAM_SIZES, &CAWL_QUICK_SERVERS)
+    } else {
+        (&CAWL_RAM_SIZES, &CAWL_SERVERS)
+    };
+    println!(
+        "cawl sweep: RAM {:?} MB x {} server(s) x file {{0.5, 1, 2, 4}}x RAM, cawl tuning",
+        rams.iter().map(|r| r >> 20).collect::<Vec<_>>(),
+        servers.len()
+    );
+    let sweep = cawl_sweep(rams, servers, jobs);
+    println!("{}", sweep.render());
+    sweep
+        .write_csv(std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 /// Runs one sweep's work-list under the profiler and appends its row.
 fn bench_sweep<T: Send>(
     report: &mut BenchReport,
@@ -496,6 +534,12 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
         bench_sweep(&mut report, "transport", j, transport_cells(2 << 20, LOSS_RATES));
         bench_sweep(
             &mut report,
+            "cawl",
+            j,
+            cawl_cells(&CAWL_QUICK_RAM_SIZES, &CAWL_QUICK_SERVERS, 1),
+        );
+        bench_sweep(
+            &mut report,
             "megafleet",
             j,
             megafleet_cells(&[1_000, 10_000], &[ServerKind::Filer], true),
@@ -503,7 +547,7 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
     }
     print!("{}", report.render());
     if jobs > 1 {
-        for name in ["fleet", "qos", "transport", "megafleet"] {
+        for name in ["fleet", "qos", "transport", "cawl", "megafleet"] {
             if let Some(s) = report.speedup(name, jobs) {
                 println!("{name}: {s:.2}x speedup at --jobs {jobs}");
             }
@@ -553,6 +597,7 @@ fn main() -> ExitCode {
         "fleet" => cmd_fleet(args),
         "megafleet" => cmd_megafleet(args),
         "qos" => cmd_qos(args),
+        "cawl" => cmd_cawl(args),
         "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => {
             print!("{}", usage());
