@@ -1,0 +1,210 @@
+//! Open-loop adversarial arrival processes.
+//!
+//! The fleet and QoS sweeps drive the server with *closed-loop* clients:
+//! each client waits for its previous RPC before issuing the next, so
+//! offered load self-limits to what the system absorbs. Production
+//! traffic is not so polite. This module generates **open-loop**
+//! arrivals — datagrams injected on a schedule that does not slow down
+//! when the network backs up — with heavy-tailed (bounded Pareto/Lomax)
+//! inter-arrival gaps, the burst-and-lull shape measured in enterprise
+//! storage traces. Three canned mixes shape the aggressor side of the
+//! [`crate::netqos`] sweep:
+//!
+//! * **hog-vs-victims** — two greedy sources streaming continuously with
+//!   heavy-tailed pacing: the PR 4 hog, moved down to the wire.
+//! * **incast** — many sources firing short synchronized bursts (the
+//!   partition-aggregate pattern: one logical request fans out, all
+//!   responses arrive at once).
+//! * **sync-storm** — a few sources blasting long synchronized storms
+//!   separated by heavy-tailed quiet spells (periodic checkpoint /
+//!   backup traffic).
+//!
+//! Determinism: gaps come from [`SimRng`] streams seeded from the sweep
+//! config, so a given config replays the identical arrival script.
+
+use nfsperf_sim::{SimDuration, SimRng};
+
+/// Bounded Pareto (Lomax) inter-arrival generator.
+///
+/// Gaps follow `scale * ((1-u)^(-1/alpha) - 1)` with `u` uniform in
+/// `[0,1)`: a Lomax distribution with mean `scale / (alpha - 1)` for
+/// `alpha > 1`. Smaller `alpha` means a heavier tail — long lulls
+/// compensated by tight bursts at the same mean rate. Gaps are clamped
+/// at 50x the mean so a single astronomical draw cannot stall a source
+/// for the whole measurement.
+pub struct OpenLoop {
+    rng: SimRng,
+    scale_ns: f64,
+    alpha: f64,
+    max_ns: f64,
+}
+
+impl OpenLoop {
+    /// A generator with the given mean gap and tail index `alpha` (> 1).
+    pub fn new(seed: u64, mean: SimDuration, alpha: f64) -> OpenLoop {
+        assert!(alpha > 1.0, "Lomax needs alpha > 1 for a finite mean");
+        let mean_ns = mean.0 as f64;
+        OpenLoop {
+            rng: SimRng::new(seed),
+            scale_ns: mean_ns * (alpha - 1.0),
+            alpha,
+            max_ns: mean_ns * 50.0,
+        }
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self) -> SimDuration {
+        let u = self.rng.uniform_f64();
+        let raw = self.scale_ns * ((1.0 - u).powf(-1.0 / self.alpha) - 1.0);
+        SimDuration(raw.min(self.max_ns) as u64)
+    }
+}
+
+/// The adversarial traffic mixes the netqos sweep drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficMix {
+    /// Two greedy continuous streamers, heavy-tailed pacing.
+    Hog,
+    /// Six sources, short synchronized bursts.
+    Incast,
+    /// Four sources, long synchronized storms, heaviest tail.
+    Storm,
+}
+
+impl TrafficMix {
+    /// Every mix, in sweep order.
+    pub const ALL: [TrafficMix; 3] = [TrafficMix::Hog, TrafficMix::Incast, TrafficMix::Storm];
+
+    /// CSV / CLI label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrafficMix::Hog => "hog",
+            TrafficMix::Incast => "incast",
+            TrafficMix::Storm => "storm",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<TrafficMix> {
+        match s {
+            "hog" => Some(TrafficMix::Hog),
+            "incast" => Some(TrafficMix::Incast),
+            "storm" => Some(TrafficMix::Storm),
+            _ => None,
+        }
+    }
+
+    /// Number of aggressor sources.
+    pub fn aggressors(self) -> usize {
+        match self {
+            TrafficMix::Hog => 2,
+            TrafficMix::Incast => 6,
+            TrafficMix::Storm => 4,
+        }
+    }
+
+    /// Frames fired back-to-back per arrival epoch.
+    pub fn burst_frames(self) -> usize {
+        match self {
+            TrafficMix::Hog => 1,
+            TrafficMix::Incast => 16,
+            TrafficMix::Storm => 64,
+        }
+    }
+
+    /// Lomax tail index for the epoch gaps.
+    pub fn alpha(self) -> f64 {
+        match self {
+            TrafficMix::Hog => 1.4,
+            TrafficMix::Incast => 2.0,
+            TrafficMix::Storm => 1.3,
+        }
+    }
+
+    /// Offered load as a multiple of the bottleneck link's rate, summed
+    /// over all sources — every mix oversubscribes the port.
+    pub fn offered_factor(self) -> f64 {
+        match self {
+            TrafficMix::Hog => 2.0,
+            TrafficMix::Incast => 2.0,
+            TrafficMix::Storm => 3.0,
+        }
+    }
+
+    /// Whether sources share one gap stream (bursts coincide) or each
+    /// paces independently.
+    pub fn synchronized(self) -> bool {
+        !matches!(self, TrafficMix::Hog)
+    }
+
+    /// Mean gap between a single source's arrival epochs such that the
+    /// mix's total offered load is `offered_factor` times a bottleneck
+    /// draining `bottleneck_bytes_per_sec`, with `frame_bytes` payload
+    /// per frame.
+    pub fn mean_epoch_gap(self, frame_bytes: usize, bottleneck_bytes_per_sec: u64) -> SimDuration {
+        let per_epoch = (self.aggressors() * self.burst_frames() * frame_bytes) as f64;
+        let ns = per_epoch * 1e9 / (self.offered_factor() * bottleneck_bytes_per_sec as f64);
+        SimDuration(ns as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaps_are_nonnegative_bounded_and_deterministic() {
+        let mean = SimDuration::from_micros(500);
+        let mut a = OpenLoop::new(42, mean, 1.4);
+        let mut b = OpenLoop::new(42, mean, 1.4);
+        for _ in 0..10_000 {
+            let g = a.next_gap();
+            assert_eq!(g, b.next_gap());
+            assert!(g.0 <= mean.0 * 50);
+        }
+    }
+
+    #[test]
+    fn mean_gap_lands_near_the_configured_mean() {
+        let mean = SimDuration::from_micros(500);
+        for alpha in [1.3, 1.4, 2.0, 3.0] {
+            let mut g = OpenLoop::new(7, mean, alpha);
+            let n = 200_000u64;
+            let total: u64 = (0..n).map(|_| g.next_gap().0).sum();
+            let got = total as f64 / n as f64;
+            let want = mean.0 as f64;
+            // The 50x clamp shaves a little mass off the heaviest tails.
+            assert!(
+                got > want * 0.75 && got < want * 1.1,
+                "alpha {alpha}: mean gap {got:.0} ns vs configured {want:.0} ns"
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_tails_produce_more_extreme_gaps_at_the_same_mean() {
+        let mean = SimDuration::from_micros(500);
+        // Count gaps past 30x the mean: Lomax(1.3) puts roughly ten
+        // times the mass out there that Lomax(3.0) does.
+        let tail_of = |alpha: f64| {
+            let mut g = OpenLoop::new(11, mean, alpha);
+            (0..50_000).filter(|_| g.next_gap().0 > mean.0 * 30).count()
+        };
+        assert!(tail_of(1.3) > 4 * tail_of(3.0));
+    }
+
+    #[test]
+    fn mix_tables_are_consistent() {
+        for mix in TrafficMix::ALL {
+            assert_eq!(TrafficMix::parse(mix.label()), Some(mix));
+            assert!(mix.aggressors() > 0 && mix.burst_frames() > 0);
+            assert!(mix.alpha() > 1.0 && mix.offered_factor() > 1.0);
+        }
+        assert_eq!(TrafficMix::parse("nope"), None);
+        // Offered-load arithmetic: gap such that rate = factor x link.
+        let gap = TrafficMix::Hog.mean_epoch_gap(8192, 26_000_000);
+        let rate = 2.0 * 8192.0 * 1e9 / gap.0 as f64;
+        let want = 2.0 * 26_000_000.0;
+        assert!((rate - want).abs() / want < 0.01);
+    }
+}

@@ -9,11 +9,13 @@
 //! CSVs and ASCII charts.
 
 pub mod ablations;
+pub mod arrivals;
 pub mod cawl;
 pub mod concurrency;
 pub mod figures;
 pub mod fleet;
 pub mod megafleet;
+pub mod netqos;
 pub mod qos;
 pub mod render;
 pub mod scenario;
@@ -41,6 +43,10 @@ pub use figures::{
     figure1, figure2, figure3, figure4, figure5, figure6, figure7, paper_file_sizes,
     quick_file_sizes, slow_server_comparison, table1, throughput_sweep, HistogramPair,
     LatencyTrace, SlowServerComparison, Table1,
+};
+pub use arrivals::{OpenLoop, TrafficMix};
+pub use netqos::{
+    netqos_sweep, run_netqos, NetQosCell, NetQosConfig, NetQosRun, NetQosSweep, NetSched,
 };
 pub use qos::{
     assemble_qos_rows, qos_cells, qos_run_cells, qos_sweep, run_qos, QosCell, QosConfig, QosRun,

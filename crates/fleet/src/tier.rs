@@ -251,12 +251,13 @@ impl FlyTier {
                 FlyOp::Commit => tier.model.commit_wire_bytes,
             };
             let wire = wire_bytes(payload, tier.config.client_nic.mtu);
-            let agg = tier.fabric.agg_of(tier.fabric_base + idx);
-            agg.traverse(LinkDir::ToServer, wire, payload).await;
+            let flow = tier.fabric_base + idx;
+            let agg = tier.fabric.agg_of(flow);
+            agg.traverse(flow, LinkDir::ToServer, wire, payload).await;
             drop(agg);
             tier.fabric
                 .core()
-                .traverse(LinkDir::ToServer, wire, payload)
+                .traverse(flow, LinkDir::ToServer, wire, payload)
                 .await;
             tier.sim.sleep(tier.fabric.latency()).await;
             let drained = tier.advance_clock(idx, ClockId::PortRx, tier.config.port_nic, wire);
@@ -286,13 +287,14 @@ impl FlyTier {
             let wire = wire_bytes(reply_payload, tier.config.port_nic.mtu);
             let sent = tier.advance_clock(idx, ClockId::PortTx, tier.config.port_nic, wire);
             tier.sim.sleep_until(sent).await;
+            let flow = tier.fabric_base + idx;
             tier.fabric
                 .core()
-                .traverse(LinkDir::ToClients, wire, reply_payload)
+                .traverse(flow, LinkDir::ToClients, wire, reply_payload)
                 .await;
             tier.fabric
-                .agg_of(tier.fabric_base + idx)
-                .traverse(LinkDir::ToClients, wire, reply_payload)
+                .agg_of(flow)
+                .traverse(flow, LinkDir::ToClients, wire, reply_payload)
                 .await;
             tier.sim.sleep(tier.fabric.latency()).await;
             let drained = tier.advance_clock(idx, ClockId::CliRx, tier.config.client_nic, wire);
@@ -472,6 +474,53 @@ mod tests {
             per <= 256,
             "flyweight tier costs {per} resident bytes per client"
         );
+    }
+
+    /// The flyweight tier's direct stage traversal must work unchanged
+    /// when the fabric's ports run DRR instead of FIFO: every write is
+    /// still accounted, per-flow state is retired after the run, and the
+    /// per-client memory bound still holds with scheduler state included.
+    #[test]
+    fn tier_completes_through_a_drr_fabric() {
+        let run = |policy: nfsperf_net::PortPolicy| {
+            let sim = Sim::new();
+            let server_nic = NicSpec::gigabit();
+            let config = FabricConfig {
+                port_sched: policy,
+                ..FabricConfig::new(server_nic)
+            };
+            let fabric = Rc::new(Fabric::new(&sim, config));
+            let server = NfsServer::new(&sim, ServerConfig::netapp_f85());
+            let tier = FlyTier::launch(
+                &sim,
+                &server,
+                &fabric,
+                toy_model(),
+                FlyTierConfig::new(512, 4, server_nic),
+            );
+            let t2 = Rc::clone(&tier);
+            sim.run_until(async move { t2.wait_done().await });
+            (tier, server, fabric)
+        };
+        let (tier, server, fabric) = run(nfsperf_net::PortPolicy::drr());
+        let slim = server.slim_stats();
+        assert_eq!(slim.clients, 512);
+        assert_eq!(slim.writes, 512 * 4);
+        assert_eq!(slim.write_bytes, 512 * 4 * 8192);
+        assert!(tier.per_client_mbps().iter().all(|m| *m > 0.0));
+        // Quiescent DRR retires per-flow state: entries are gone, so only
+        // empty map/ring capacities linger — O(peak live flows), well
+        // under the flyweight budget, never O(queued datagrams).
+        let (_, _, fifo_fabric) = run(nfsperf_net::PortPolicy::Fifo);
+        let slack = fabric.resident_bytes() - fifo_fabric.resident_bytes();
+        assert!(
+            slack < 512 * 256,
+            "retired DRR fabric still holds {slack} bytes of scheduler state"
+        );
+        // Determinism holds under DRR too.
+        let (tier2, server2, _) = run(nfsperf_net::PortPolicy::drr());
+        assert_eq!(tier.per_client_mbps(), tier2.per_client_mbps());
+        assert_eq!(server.slim_stats(), server2.slim_stats());
     }
 
     #[test]

@@ -10,10 +10,12 @@
 
 pub mod frame;
 pub mod nic;
+pub mod sched;
 pub mod switch;
 
 pub use frame::{fragments_for, wire_bytes, ETHERNET_OVERHEAD, IP_HEADER, UDP_HEADER};
 pub use nic::{DatagramPayload, Nic, NicSpec};
+pub use sched::{PortDrr, PortFifo, PortPolicy, PortSched, PortTicket, PortWrr, WeightTable};
 pub use switch::{Fabric, FabricConfig, LinkDir, SharedLink, Switch};
 
 use nfsperf_sim::SimDuration;
@@ -39,6 +41,11 @@ pub struct Path {
     /// Shared bottleneck stages traversed between the endpoints, in
     /// transmit order (empty for a point-to-point path).
     pub via: Vec<(std::rc::Rc<SharedLink>, LinkDir)>,
+    /// Source flow id the shared stages' schedulers key on — the
+    /// client's dense id in a fleet (assigned by [`Switch::attach`] /
+    /// [`switch::Fabric::attach`]); 0 for point-to-point paths, where no
+    /// scheduler ever sees it.
+    pub flow: u32,
 }
 
 impl Path {
@@ -49,6 +56,7 @@ impl Path {
             remote,
             latency,
             via: Vec::new(),
+            flow: 0,
         }
     }
 
@@ -67,11 +75,13 @@ impl Path {
     /// Sends one datagram along the path (asynchronously).
     pub fn send(&self, payload: DatagramPayload) {
         self.local
-            .transmit_routed(&self.remote, self.latency, self.via.clone(), payload);
+            .transmit_routed(&self.remote, self.latency, self.via.clone(), self.flow, payload);
     }
 
     /// The reverse path: the same shared-link stages in reverse order,
     /// each on its opposite lane (replies unwind the fabric inside out).
+    /// Replies keep the forward flow id: a reply lane shared by many
+    /// clients schedules by the client the reply belongs to.
     pub fn reversed(&self) -> Path {
         Path {
             local: std::rc::Rc::clone(&self.remote),
@@ -83,6 +93,7 @@ impl Path {
                 .rev()
                 .map(|(link, dir)| (std::rc::Rc::clone(link), dir.flipped()))
                 .collect(),
+            flow: self.flow,
         }
     }
 }

@@ -150,18 +150,20 @@ impl Nic {
         latency: SimDuration,
         payload: DatagramPayload,
     ) {
-        self.transmit_routed(dst, latency, Vec::new(), payload);
+        self.transmit_routed(dst, latency, Vec::new(), 0, payload);
     }
 
     /// Like [`Nic::transmit`], additionally queueing for each shared
     /// bottleneck stage between serialization and propagation, in order —
     /// the switch-uplink hop every client in a fleet contends for, or the
-    /// aggregation-then-core ladder of a multi-stage fabric.
+    /// aggregation-then-core ladder of a multi-stage fabric. `flow` is
+    /// the source flow id each stage's scheduler keys on.
     pub fn transmit_routed(
         self: &Rc<Self>,
         dst: &Rc<Nic>,
         latency: SimDuration,
         via: Vec<(Rc<crate::SharedLink>, crate::LinkDir)>,
+        flow: u32,
         payload: DatagramPayload,
     ) {
         let src = Rc::clone(self);
@@ -203,7 +205,7 @@ impl Nic {
             // datagrams were dropped before reaching the first stage, as
             // on a real ingress port.
             for (link, dir) in &via {
-                link.traverse(*dir, wire_len, payload.len()).await;
+                link.traverse(flow, *dir, wire_len, payload.len()).await;
             }
 
             // Propagate through the switch.

@@ -21,6 +21,10 @@
 //!   and metadata above COMMIT, whose disk flushes are the expensive
 //!   tail) and a per-client in-flight quota, so one client with a deep
 //!   RPC slot table cannot occupy every nfsd at once.
+//! - [`Drr::weighted`] — DRR whose per-rotation top-up is scaled by a
+//!   per-client [`WeightTable`] (the same table type the network
+//!   fabric's `PortWrr` lanes use), so an SLA can hand one client a
+//!   multiple of another's service share.
 //!
 //! The engine replicates the exact admission semantics of
 //! [`nfsperf_sim::Semaphore`] so that `Fifo` is not merely equivalent but
@@ -37,6 +41,7 @@ use std::task::{Context, Poll, Waker};
 
 use nfsperf_sim::{Counter, Sim, SimDuration, SimTime};
 
+pub use nfsperf_net::WeightTable;
 pub use nfsperf_sim::LatencyDigest;
 
 /// Byte cost floor: a zero-byte op (COMMIT, GETATTR) still occupies a
@@ -232,6 +237,9 @@ struct DrrCore {
     quantum: u64,
     quota: usize,
     classes: usize,
+    /// When set, client `c`'s per-rotation top-up is `quantum ×
+    /// weights.get(c)` — the SLA-table weighting; `None` is plain DRR.
+    weights: Option<WeightTable>,
     inner: RefCell<DrrInner>,
 }
 
@@ -244,11 +252,19 @@ impl DrrCore {
             quantum,
             quota,
             classes,
+            weights: None,
             inner: RefCell::new(DrrInner {
                 clients: Vec::new(),
                 ring: VecDeque::new(),
                 queued: 0,
             }),
+        }
+    }
+
+    fn topup(&self, client: usize) -> u64 {
+        match &self.weights {
+            Some(w) => self.quantum * w.get(client as u32),
+            None => self.quantum,
         }
     }
 
@@ -322,7 +338,7 @@ impl Scheduler for DrrCore {
                 .expect("has_work checked above");
             let cost = DrrCore::cost(inner.clients[client].queues[class][0].meta().bytes);
             if inner.clients[client].deficit < cost {
-                inner.clients[client].deficit += self.quantum;
+                inner.clients[client].deficit += self.topup(client);
                 inner.ring.rotate_left(1);
                 blocked = 0;
                 continue;
@@ -379,6 +395,14 @@ impl Drr {
     /// Creates a DRR scheduler with the given per-rotation byte quantum.
     pub fn new(quantum: u64) -> Drr {
         Drr(DrrCore::new("drr", quantum, usize::MAX, 1))
+    }
+
+    /// Creates a weighted DRR scheduler: client `c`'s per-rotation
+    /// top-up is `quantum × weights.get(c)`.
+    pub fn weighted(quantum: u64, weights: WeightTable) -> Drr {
+        let mut core = DrrCore::new("wdrr", quantum, usize::MAX, 1);
+        core.weights = Some(weights);
+        Drr(core)
     }
 }
 
@@ -504,11 +528,15 @@ impl SchedPolicy {
         }
     }
 
-    fn build(&self) -> Box<dyn Scheduler> {
-        match *self {
-            SchedPolicy::Fifo => Box::new(Fifo::default()),
-            SchedPolicy::Drr { quantum } => Box::new(Drr::new(quantum)),
-            SchedPolicy::ClassedDrr { quantum, quota } => {
+    /// Builds the scheduler, upgrading a DRR policy to weighted DRR when
+    /// a client weight table is supplied (FIFO ignores weights — there is
+    /// no share to scale).
+    fn build_weighted(&self, weights: Option<&WeightTable>) -> Box<dyn Scheduler> {
+        match (*self, weights) {
+            (SchedPolicy::Drr { quantum }, Some(w)) => Box::new(Drr::weighted(quantum, w.clone())),
+            (SchedPolicy::Fifo, _) => Box::new(Fifo::default()),
+            (SchedPolicy::Drr { quantum }, None) => Box::new(Drr::new(quantum)),
+            (SchedPolicy::ClassedDrr { quantum, quota }, _) => {
                 Box::new(ClassedDrr::new(quantum, quota))
             }
         }
@@ -551,11 +579,22 @@ pub struct ServiceEngine {
 impl ServiceEngine {
     /// Creates an engine with `slots` concurrent service slots.
     pub fn new(sim: &Sim, slots: usize, policy: SchedPolicy) -> Rc<ServiceEngine> {
+        ServiceEngine::with_weights(sim, slots, policy, None)
+    }
+
+    /// Like [`ServiceEngine::new`], upgrading a DRR policy to weighted
+    /// DRR when a per-client SLA weight table is supplied.
+    pub fn with_weights(
+        sim: &Sim,
+        slots: usize,
+        policy: SchedPolicy,
+        weights: Option<&WeightTable>,
+    ) -> Rc<ServiceEngine> {
         assert!(slots > 0, "a server needs at least one service slot");
         Rc::new(ServiceEngine {
             sim: sim.clone(),
             policy,
-            sched: policy.build(),
+            sched: policy.build_weighted(weights),
             slots,
             free: Cell::new(slots),
             pending_wakes: Cell::new(0),
@@ -803,6 +842,33 @@ mod tests {
             sched.enqueue(Ticket::new(meta(1, OpClass::Write, 32768)));
         }
         assert_eq!(drain(&sched), vec![0, 0, 0, 0, 1, 0, 0, 0, 0, 1]);
+    }
+
+    /// Weighted DRR: an SLA table entry of 4 gives client 1 four quanta
+    /// per rotation, so it drains four requests to client 0's one.
+    #[test]
+    fn weighted_drr_scales_the_topup_by_the_sla_table() {
+        let sched = Drr::weighted(8192, WeightTable::new(vec![1, 4]));
+        assert_eq!(sched.label(), "wdrr");
+        for _ in 0..4 {
+            sched.enqueue(Ticket::new(meta(0, OpClass::Write, 8192)));
+        }
+        for _ in 0..8 {
+            sched.enqueue(Ticket::new(meta(1, OpClass::Write, 8192)));
+        }
+        assert_eq!(
+            drain(&sched),
+            vec![0, 1, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0],
+            "client 1 earns 4x service per rotation"
+        );
+        // Clients beyond the table default to weight 1: plain DRR.
+        let uniform = Drr::weighted(8192, WeightTable::uniform());
+        for client in [5usize, 9] {
+            for _ in 0..2 {
+                uniform.enqueue(Ticket::new(meta(client, OpClass::Write, 8192)));
+            }
+        }
+        assert_eq!(drain(&uniform), vec![5, 9, 5, 9]);
     }
 
     /// The DRR fairness bound: between two backlogged clients, served

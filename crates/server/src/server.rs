@@ -89,6 +89,10 @@ pub struct ServerConfig {
     /// default: the paper's servers serve in arrival order, and the
     /// reproduced figures depend on it.
     pub sched: SchedPolicy,
+    /// Optional per-client SLA weights: upgrades a DRR `sched` to
+    /// weighted DRR, scaling each client's per-rotation service credit.
+    /// `None` (the default) leaves every policy untouched.
+    pub client_weights: Option<crate::sched::WeightTable>,
 }
 
 impl ServerConfig {
@@ -110,6 +114,7 @@ impl ServerConfig {
             },
             write_error_after: None,
             sched: SchedPolicy::Fifo,
+            client_weights: None,
         }
     }
 
@@ -128,6 +133,7 @@ impl ServerConfig {
             },
             write_error_after: None,
             sched: SchedPolicy::Fifo,
+            client_weights: None,
         }
     }
 
@@ -143,6 +149,7 @@ impl ServerConfig {
             backend: BackendConfig::Memory,
             write_error_after: None,
             sched: SchedPolicy::Fifo,
+            client_weights: None,
         }
     }
 
@@ -160,6 +167,7 @@ impl ServerConfig {
             backend: BackendConfig::Memory,
             write_error_after: None,
             sched: SchedPolicy::Fifo,
+            client_weights: None,
         }
     }
 }
@@ -516,7 +524,12 @@ impl NfsServer {
             sim: sim.clone(),
             fs: Rc::new(FsState::new()),
             per_client: RefCell::new(Vec::new()),
-            engine: ServiceEngine::new(sim, config.concurrency, config.sched),
+            engine: ServiceEngine::with_weights(
+                sim,
+                config.concurrency,
+                config.sched,
+                config.client_weights.as_ref(),
+            ),
             fixed_op_cost: config.fixed_op_cost,
             data_rate_bps: config.data_rate_bps,
             backend,

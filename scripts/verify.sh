@@ -125,6 +125,32 @@ awk -F, '
     }' results/cawl-quick.csv
 rm -f results/cawl-quick.csv
 
+echo "==> netqos smoke run (quick, --jobs 4 vs --jobs 1 bit-identical)"
+out="$(cargo run -q --release --offline --bin nfsperf -- netqos --quick --jobs 4 --out results/netqos-quick.csv)"
+echo "$out"
+cargo run -q --release --offline --bin nfsperf -- netqos --quick --jobs 1 --out results/netqos-quick-2.csv > /dev/null
+cmp results/netqos-quick.csv results/netqos-quick-2.csv \
+    || { echo "FAIL: netqos sweep differs between --jobs 4 and --jobs 1"; exit 1; }
+rm -f results/netqos-quick-2.csv
+# The port scheduler, not the server, decides who wins the uplink: FIFO
+# must let the incast mix collapse fairness among the victims (column 11,
+# Jain over victims only) while any fair policy holds it at >= 0.9 and
+# every cell still moves victim bytes.
+awk -F, 'NR > 1 {
+        rows++
+        if ($2 == "port-fifo" && $3 == "incast") {
+            fifo_incast++
+            if ($11 + 0 >= 0.6) { print "FAIL: port-fifo did not starve meek victims: " $0; exit 1 }
+        }
+        if ($2 != "port-fifo" && $11 + 0 < 0.9) { print "FAIL: unfair victims under " $2 ": " $0; exit 1 }
+        if ($6 + 0 <= 0) { print "FAIL: zero victim throughput: " $0; exit 1 }
+    }
+    END {
+        if (rows == 0) { print "FAIL: empty netqos-quick.csv"; exit 1 }
+        if (!fifo_incast) { print "FAIL: netqos sweep missing the port-fifo incast cell"; exit 1 }
+    }' results/netqos-quick.csv
+rm -f results/netqos-quick.csv
+
 echo "==> harness micro-benchmark (results/bench.json vs committed baseline)"
 # Compare against the committed baseline; a sweep whose events/sec drops
 # more than the tolerance below it fails the build. The default 30% is

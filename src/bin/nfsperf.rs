@@ -9,6 +9,7 @@
 //! nfsperf fleet [--quick] [--out FILE] [--jobs N]
 //! nfsperf megafleet [--quick] [--counts LIST] [--out FILE] [--jobs N]
 //! nfsperf qos [--quick] [--out FILE] [--jobs N]
+//! nfsperf netqos [--quick] [--port-sched P] [--out FILE] [--jobs N]
 //! nfsperf cawl [--quick] [--out FILE] [--jobs N]
 //! nfsperf bench [--jobs N] [--out FILE] [--against OLD.json] [--tolerance T]
 //! nfsperf help
@@ -26,9 +27,9 @@ use std::process::ExitCode;
 use nfsperf_client::ClientTuning;
 use nfsperf_experiments::{
     cawl_cells, cawl_sweep, figures, fleet_cells, fleet_sweep, megafleet_cells, megafleet_sweep,
-    qos_run_cells, qos_sweep, run_bonnie, transport_cells, transport_sweep, Scenario, ServerKind,
-    CAWL_QUICK_RAM_SIZES, CAWL_QUICK_SERVERS, CAWL_RAM_SIZES, CAWL_SERVERS, FLEET_CLIENT_COUNTS,
-    LOSS_RATES, MEGAFLEET_COUNTS, MEGAFLEET_QUICK_COUNTS,
+    netqos_sweep, qos_run_cells, qos_sweep, run_bonnie, transport_cells, transport_sweep, NetSched,
+    Scenario, ServerKind, TrafficMix, CAWL_QUICK_RAM_SIZES, CAWL_QUICK_SERVERS, CAWL_RAM_SIZES,
+    CAWL_SERVERS, FLEET_CLIENT_COUNTS, LOSS_RATES, MEGAFLEET_COUNTS, MEGAFLEET_QUICK_COUNTS,
 };
 use nfsperf_server::SchedPolicy;
 use nfsperf_sim::{runner, BenchReport, SimDuration, SweepStats};
@@ -48,6 +49,7 @@ USAGE:
     nfsperf fleet [--quick] [--out FILE] [--jobs N]
     nfsperf megafleet [--quick] [--counts LIST] [--out FILE] [--jobs N]
     nfsperf qos [--quick] [--out FILE] [--jobs N]
+    nfsperf netqos [--quick] [--port-sched P] [--out FILE] [--jobs N]
     nfsperf cawl [--quick] [--out FILE] [--jobs N]
     nfsperf bench [--jobs N] [--out FILE] [--against OLD.json]
                   [--tolerance T]
@@ -86,6 +88,12 @@ COMMANDS:
                 {filer, knfsd} x {fifo, drr, classed-drr} (--quick for
                 filer only with 4 victims); writes CSV to --out
                 [results/qos.csv]
+    netqos      network-QoS sweep: open-loop heavy-tailed aggressors
+                (hog / incast / sync-storm mixes) vs 7 NFS victims at the
+                shared switch uplink, {filer, knfsd} x {port-fifo,
+                port-drr, port-wrr} (--quick for knfsd only at 1 MB per
+                victim); --port-sched restricts to one policy; writes CSV
+                to --out [results/netqos.csv]
     cawl        cache-aware memory-model regime sweep: client RAM
                 {64 MB, 256 MB, 1 GB} x server {filer, knfsd, fast} x
                 file size {0.5x, 1x, 2x, 4x RAM} under the cawl tuning;
@@ -452,6 +460,40 @@ fn cmd_qos(mut args: Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_netqos(mut args: Args) -> Result<(), String> {
+    let quick = args.flag("--quick");
+    let out = args
+        .value("--out")?
+        .unwrap_or_else(|| "results/netqos.csv".into());
+    let port_sched = args.value("--port-sched")?;
+    let jobs = args.jobs()?;
+    args.finish()?;
+    let scheds: Vec<NetSched> = match port_sched.as_deref() {
+        None => NetSched::ALL.to_vec(),
+        Some(s) => vec![NetSched::parse(s).ok_or_else(|| {
+            format!("unknown --port-sched {s} (port-fifo | port-drr | port-wrr)")
+        })?],
+    };
+    let (servers, victims, bytes): (&[ServerKind], usize, u64) = if quick {
+        (&[ServerKind::Knfsd], 7, 1 << 20)
+    } else {
+        (&[ServerKind::Filer, ServerKind::Knfsd], 7, 2 << 20)
+    };
+    println!(
+        "netqos sweep: open-loop {{hog, incast, storm}} aggressors vs {} victims, \
+         {} MB per victim",
+        victims,
+        bytes >> 20
+    );
+    let sweep = netqos_sweep(servers, &scheds, &TrafficMix::ALL, victims, bytes, jobs);
+    println!("{}", sweep.render());
+    sweep
+        .write_csv(std::path::Path::new(&out))
+        .map_err(|e| format!("write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
 fn cmd_cawl(mut args: Args) -> Result<(), String> {
     let quick = args.flag("--quick");
     let out = args
@@ -531,6 +573,18 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
             j,
             qos_run_cells(&[ServerKind::Filer], &scheds, 4, 1 << 20),
         );
+        bench_sweep(
+            &mut report,
+            "netqos",
+            j,
+            nfsperf_experiments::netqos::netqos_run_cells(
+                &[ServerKind::Knfsd],
+                &NetSched::ALL,
+                &[TrafficMix::Hog],
+                2,
+                512 << 10,
+            ),
+        );
         bench_sweep(&mut report, "transport", j, transport_cells(2 << 20, LOSS_RATES));
         bench_sweep(
             &mut report,
@@ -547,7 +601,7 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
     }
     print!("{}", report.render());
     if jobs > 1 {
-        for name in ["fleet", "qos", "transport", "cawl", "megafleet"] {
+        for name in ["fleet", "qos", "netqos", "transport", "cawl", "megafleet"] {
             if let Some(s) = report.speedup(name, jobs) {
                 println!("{name}: {s:.2}x speedup at --jobs {jobs}");
             }
@@ -597,6 +651,7 @@ fn main() -> ExitCode {
         "fleet" => cmd_fleet(args),
         "megafleet" => cmd_megafleet(args),
         "qos" => cmd_qos(args),
+        "netqos" => cmd_netqos(args),
         "cawl" => cmd_cawl(args),
         "bench" => cmd_bench(args),
         "help" | "--help" | "-h" => {
