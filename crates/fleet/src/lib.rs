@@ -24,4 +24,4 @@ pub mod model;
 pub mod tier;
 
 pub use model::{calibrate, BehaviorModel, Calibration, CalibrationConfig, FlyOp, GAP_QUANTILES};
-pub use tier::{FlyTier, FlyTierConfig, FlyTierRun};
+pub use tier::{FlyTier, FlyTierConfig, FlyTierRun, TierEngine};

@@ -20,10 +20,11 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::task::Waker;
 
-use nfsperf_net::{wire_bytes, Fabric, LinkDir, NicSpec};
-use nfsperf_server::NfsServer;
-use nfsperf_sim::{mbps, Gate, LatencyDigest, Sim, SimDuration, SimTime};
+use nfsperf_net::{wire_bytes, Fabric, LaneAdmit, LinkDir, NicSpec};
+use nfsperf_server::{FlyStep, FlyweightOp, NfsServer};
+use nfsperf_sim::{mbps, EventHandlerId, Gate, LatencyDigest, Sim, SimDuration, SimTime};
 
 use crate::model::{splitmix64, BehaviorModel, FlyOp};
 
@@ -58,6 +59,22 @@ struct FlyClient {
     completed: u32,
 }
 
+/// Which machinery advances each of the tier's RPCs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierEngine {
+    /// Two spawned tasks per RPC (the original engine): a request task
+    /// that sleeps, traverses, and drains, handing off to a service
+    /// task for the server wait and the reply unwind.
+    Tasks,
+    /// One slab record per RPC advanced by timed events straight off the
+    /// executor's wheel — no future, no task, no per-RPC allocation.
+    /// Every await point of the task engine maps to one event, and both
+    /// engines share the same fabric/server wait queues, so runs are
+    /// bit-identical (asserted in tests) while the steady state skips
+    /// all task machinery.
+    Events,
+}
+
 /// Parameters of one flyweight tier.
 #[derive(Debug, Clone)]
 pub struct FlyTierConfig {
@@ -82,6 +99,8 @@ pub struct FlyTierConfig {
     /// Upper bound on the model's outstanding-RPC window (`u32::MAX` to
     /// take the calibrated window as-is).
     pub window_cap: u32,
+    /// Which machinery advances each RPC (events by default).
+    pub engine: TierEngine,
 }
 
 impl FlyTierConfig {
@@ -100,6 +119,7 @@ impl FlyTierConfig {
             start_spread: SimDuration((clients as u64).max(1) * 2_000),
             latency_stride: (clients / 1024).max(1),
             window_cap: u32::MAX,
+            engine: TierEngine::Events,
         }
     }
 }
@@ -117,6 +137,108 @@ pub struct FlyTierRun {
     pub bytes_per_client: usize,
 }
 
+/// Resume point of one event-driven RPC: each variant names what the
+/// record does when its next event dispatches. Stages mirror the task
+/// engine's await points one-for-one, so both engines retire identical
+/// event counts in identical order.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RpcStage {
+    /// Waiting for the emission instant (`sleep_until(at)`).
+    Start,
+    /// Emission time reached: size the datagram, start admission.
+    Launch,
+    /// Queued for the aggregation uplink (request direction).
+    AggAdmit,
+    /// Aggregation wire time slept; release and move to the core.
+    AggXfer,
+    /// Queued for the core uplink (request direction).
+    CoreAdmit,
+    /// Core wire time slept; release and propagate.
+    CoreXfer,
+    /// Fabric latency slept; drain into the server port.
+    PortDrain,
+    /// Port drain slept; hand off to the service half.
+    HandOff,
+    /// Driving the server's flyweight op to completion.
+    Service,
+    /// Reply transmit clock slept; start the core reply admission.
+    CoreRStart,
+    /// Queued for the core uplink (reply direction).
+    CoreRAdmit,
+    /// Core reply wire time slept.
+    CoreRXfer,
+    /// Queued for the aggregation uplink (reply direction).
+    AggRAdmit,
+    /// Aggregation reply wire time slept.
+    AggRXfer,
+    /// Fabric latency slept; drain into the client NIC.
+    CliDrain,
+    /// Client drain slept; retire the RPC.
+    Complete,
+}
+
+/// One in-flight event-driven RPC. Records live in a free-listed slab
+/// sized by peak concurrent RPCs — the per-RPC state the task engine
+/// kept in two spawned futures, without the futures. Transient like
+/// those futures were, so (like them) not part of the tier's resident
+/// per-client accounting.
+struct FlyRpc {
+    /// Owning client's tier index.
+    idx: u32,
+    /// The RPC's emission sequence number for that client.
+    seq: u32,
+    /// Free-list link (`u32::MAX` = end).
+    next_free: u32,
+    /// Wire bytes of the current datagram (request, then reply).
+    wire: u32,
+    /// UDP payload bytes of the current datagram.
+    payload: u32,
+    op: FlyOp,
+    stage: RpcStage,
+    /// When the request left the client (latency numerator start).
+    emitted_at: SimTime,
+    /// Admission scratch for the hop currently being traversed.
+    lane: LaneAdmit,
+    /// The server-side op, live from [`RpcStage::Service`] entry.
+    srv: Option<FlyweightOp>,
+    /// Shadow task-table slot standing in for the task the old engine
+    /// would have spawned for the current half of this RPC (request,
+    /// then service). Keeps the executor's slot-recycling sequence —
+    /// and so the landing spot of any stale wake — identical across
+    /// engines, which keeps deterministic event counts bit-identical.
+    shadow: usize,
+    /// Direct waker dispatching `step(record index)`, built once when
+    /// the record first exists and reused by every park of every RPC
+    /// that ever occupies it (the index never changes): parking is one
+    /// waker clone, waking one ready-queue push.
+    waker: Option<Waker>,
+}
+
+impl FlyRpc {
+    fn vacant() -> FlyRpc {
+        FlyRpc {
+            idx: 0,
+            seq: 0,
+            next_free: u32::MAX,
+            wire: 0,
+            payload: 0,
+            op: FlyOp::Write,
+            stage: RpcStage::Start,
+            emitted_at: SimTime::ZERO,
+            lane: LaneAdmit::start(SimTime::ZERO),
+            srv: None,
+            shadow: 0,
+            waker: None,
+        }
+    }
+}
+
+/// The RPC slab plus its free-list head.
+struct RpcSlab {
+    slots: Vec<FlyRpc>,
+    free_head: u32,
+}
+
 /// A running flyweight tier. Create with [`FlyTier::launch`], then
 /// `await` [`FlyTier::wait_done`] inside the simulation.
 pub struct FlyTier {
@@ -130,6 +252,8 @@ pub struct FlyTier {
     fabric_base: u32,
     server_base: usize,
     slab: RefCell<Vec<FlyClient>>,
+    rpcs: RefCell<RpcSlab>,
+    handler: Cell<EventHandlerId>,
     latencies: RefCell<Vec<SimDuration>>,
     lat_counter: Cell<u64>,
     clients_done: Cell<u32>,
@@ -185,11 +309,21 @@ impl FlyTier {
             fabric_base,
             server_base,
             slab: RefCell::new(slab),
+            rpcs: RefCell::new(RpcSlab {
+                slots: Vec::new(),
+                free_head: u32::MAX,
+            }),
+            handler: Cell::new(sim.register_event_handler(Rc::new(|_| {}))),
             latencies: RefCell::new(Vec::new()),
             lat_counter: Cell::new(0),
             clients_done: Cell::new(0),
             finished,
         });
+        if tier.config.engine == TierEngine::Events {
+            let t = Rc::clone(&tier);
+            tier.handler
+                .set(sim.register_event_handler(Rc::new(move |data| t.step(data as u32))));
+        }
         for i in 0..tier.config.clients {
             tier.try_emit(i);
         }
@@ -232,8 +366,277 @@ impl FlyTier {
                 c.emitted += 1;
                 (seq, at)
             };
-            self.spawn_request(idx, seq, SimTime(at));
+            match self.config.engine {
+                TierEngine::Tasks => self.spawn_request(idx, seq, SimTime(at)),
+                TierEngine::Events => {
+                    // ≙ `spawn_request`: the shadow claims the task-table
+                    // slot the request task would have, and the posted
+                    // event sits in the same ready-queue position.
+                    let r = self.alloc_rpc(idx, seq, SimTime(at));
+                    self.rpcs.borrow_mut().slots[r as usize].shadow = self.sim.spawn_shadow();
+                    self.sim.post_event(self.handler.get(), u64::from(r));
+                }
+            }
         }
+    }
+
+    /// Claims (or grows) an RPC record for one emission.
+    fn alloc_rpc(&self, idx: u32, seq: u32, at: SimTime) -> u32 {
+        let mut rpcs = self.rpcs.borrow_mut();
+        let r = match rpcs.free_head {
+            u32::MAX => {
+                let r = rpcs.slots.len() as u32;
+                let mut slot = FlyRpc::vacant();
+                // Built once per record; the index (the waker's payload)
+                // never changes, so every later RPC in this slot reuses it.
+                slot.waker = Some(self.sim.direct_waker(self.handler.get(), r));
+                rpcs.slots.push(slot);
+                r
+            }
+            head => {
+                rpcs.free_head = rpcs.slots[head as usize].next_free;
+                head
+            }
+        };
+        let rpc = &mut rpcs.slots[r as usize];
+        rpc.idx = idx;
+        rpc.seq = seq;
+        rpc.next_free = u32::MAX;
+        rpc.wire = 0;
+        rpc.payload = 0;
+        rpc.op = FlyOp::Write;
+        rpc.stage = RpcStage::Start;
+        rpc.emitted_at = at;
+        rpc.lane = LaneAdmit::start(at);
+        rpc.srv = None;
+        r
+    }
+
+    /// Schedules RPC `data`'s next dispatch at `deadline` and returns
+    /// `true`; returns `false` when the deadline is not in the future,
+    /// in which case the caller continues inline — exactly the task
+    /// engine's `Sleep`, which completes immediately without touching
+    /// the wheel when its deadline has passed.
+    fn sleep_then(&self, deadline: SimTime, data: u64) -> bool {
+        if deadline > self.sim.now() {
+            // Stage hops are never cancelled, so the timer can carry the
+            // dispatch itself — no slab slot, no ready-queue round trip.
+            self.sim.schedule_direct(deadline, self.handler.get(), data);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Advances one event-driven RPC until it parks in a wait queue,
+    /// schedules its next dispatch, or retires. One dispatch of this
+    /// handler corresponds to one poll of the task engine's request or
+    /// service task, and every wait parks in the same fabric/server
+    /// queues, so both engines interleave — and count events —
+    /// identically.
+    fn step(self: &Rc<Self>, r: u32) {
+        let h = self.handler.get();
+        let data = u64::from(r);
+        let mut rpcs = self.rpcs.borrow_mut();
+        let rpc = &mut rpcs.slots[r as usize];
+        // Every park hands out a clone of the record's cached direct
+        // waker: no slab arm, no generation — safe because each park is
+        // woken at most once and the record cannot advance past the
+        // parked stage until that wake dispatches.
+        let waker = rpc.waker.clone().expect("rpc record waker");
+        let mut wf = move || waker.clone();
+        let flow = self.fabric_base + rpc.idx;
+        let wire = |rpc: &FlyRpc| rpc.wire as usize;
+        loop {
+            match rpc.stage {
+                RpcStage::Start => {
+                    rpc.stage = RpcStage::Launch;
+                    if rpc.emitted_at > self.sim.now() {
+                        self.sim.schedule_direct(rpc.emitted_at, h, data);
+                        return;
+                    }
+                }
+                RpcStage::Launch => {
+                    rpc.op = self.model.op_at(rpc.seq, self.config.writes_per_client);
+                    let payload = match rpc.op {
+                        FlyOp::Write => self.model.write_wire_bytes,
+                        FlyOp::Commit => self.model.commit_wire_bytes,
+                    };
+                    rpc.payload = payload as u32;
+                    rpc.wire = wire_bytes(payload, self.config.client_nic.mtu) as u32;
+                    rpc.lane = LaneAdmit::start(self.sim.now());
+                    rpc.stage = RpcStage::AggAdmit;
+                }
+                RpcStage::AggAdmit => {
+                    let agg = self.fabric.agg_of(flow);
+                    let w = wire(rpc);
+                    if !agg.poll_admit(&mut rpc.lane, LinkDir::ToServer, flow, w, &mut wf) {
+                        return;
+                    }
+                    rpc.stage = RpcStage::AggXfer;
+                    let done = self.sim.now() + agg.spec().transfer_time(wire(rpc));
+                    if self.sleep_then(done, data) {
+                        return;
+                    }
+                }
+                RpcStage::AggXfer => {
+                    self.fabric
+                        .agg_of(flow)
+                        .finish_traverse(LinkDir::ToServer, rpc.payload as usize);
+                    rpc.lane = LaneAdmit::start(self.sim.now());
+                    rpc.stage = RpcStage::CoreAdmit;
+                }
+                RpcStage::CoreAdmit => {
+                    let core = self.fabric.core();
+                    let w = wire(rpc);
+                    if !core.poll_admit(&mut rpc.lane, LinkDir::ToServer, flow, w, &mut wf) {
+                        return;
+                    }
+                    rpc.stage = RpcStage::CoreXfer;
+                    let done = self.sim.now() + core.spec().transfer_time(wire(rpc));
+                    if self.sleep_then(done, data) {
+                        return;
+                    }
+                }
+                RpcStage::CoreXfer => {
+                    self.fabric
+                        .core()
+                        .finish_traverse(LinkDir::ToServer, rpc.payload as usize);
+                    rpc.stage = RpcStage::PortDrain;
+                    let woke = self.sim.now() + self.fabric.latency();
+                    if self.sleep_then(woke, data) {
+                        return;
+                    }
+                }
+                RpcStage::PortDrain => {
+                    let drained =
+                        self.advance_clock(rpc.idx, ClockId::PortRx, self.config.port_nic, wire(rpc));
+                    rpc.stage = RpcStage::HandOff;
+                    if self.sleep_then(drained, data) {
+                        return;
+                    }
+                }
+                RpcStage::HandOff => {
+                    // ≙ `spawn_service`: the task engine hands the
+                    // (possibly long) server-queue wait to a fresh task;
+                    // mirror its ready-queue push with a posted event,
+                    // and swap shadows in the task engine's order —
+                    // service slot claimed first, request slot released
+                    // when its task returns.
+                    rpc.stage = RpcStage::Service;
+                    let service_shadow = self.sim.spawn_shadow();
+                    self.sim.post_event(h, data);
+                    self.sim.drop_shadow(rpc.shadow);
+                    rpc.shadow = service_shadow;
+                    return;
+                }
+                RpcStage::Service => {
+                    let client = self.server_base + rpc.idx as usize;
+                    let op_kind = rpc.op;
+                    let payload = self.model.write_payload;
+                    let srv = rpc.srv.get_or_insert_with(|| match op_kind {
+                        FlyOp::Write => self.server.begin_flyweight_write(client, payload),
+                        FlyOp::Commit => self.server.begin_flyweight_commit(client),
+                    });
+                    loop {
+                        match self.server.poll_flyweight(srv, &mut wf) {
+                            FlyStep::Parked => return,
+                            FlyStep::Sleep(d) => {
+                                if d > SimDuration::ZERO {
+                                    self.sim.schedule_direct(self.sim.now() + d, h, data);
+                                    return;
+                                }
+                            }
+                            FlyStep::Done => break,
+                        }
+                    }
+                    rpc.srv = None;
+                    let reply_payload = match rpc.op {
+                        FlyOp::Write => WRITE_REPLY_BYTES,
+                        FlyOp::Commit => COMMIT_REPLY_BYTES,
+                    };
+                    rpc.payload = reply_payload as u32;
+                    rpc.wire = wire_bytes(reply_payload, self.config.port_nic.mtu) as u32;
+                    let sent =
+                        self.advance_clock(rpc.idx, ClockId::PortTx, self.config.port_nic, wire(rpc));
+                    rpc.stage = RpcStage::CoreRStart;
+                    if self.sleep_then(sent, data) {
+                        return;
+                    }
+                }
+                RpcStage::CoreRStart => {
+                    rpc.lane = LaneAdmit::start(self.sim.now());
+                    rpc.stage = RpcStage::CoreRAdmit;
+                }
+                RpcStage::CoreRAdmit => {
+                    let core = self.fabric.core();
+                    let w = wire(rpc);
+                    if !core.poll_admit(&mut rpc.lane, LinkDir::ToClients, flow, w, &mut wf) {
+                        return;
+                    }
+                    rpc.stage = RpcStage::CoreRXfer;
+                    let done = self.sim.now() + core.spec().transfer_time(wire(rpc));
+                    if self.sleep_then(done, data) {
+                        return;
+                    }
+                }
+                RpcStage::CoreRXfer => {
+                    self.fabric
+                        .core()
+                        .finish_traverse(LinkDir::ToClients, rpc.payload as usize);
+                    rpc.lane = LaneAdmit::start(self.sim.now());
+                    rpc.stage = RpcStage::AggRAdmit;
+                }
+                RpcStage::AggRAdmit => {
+                    let agg = self.fabric.agg_of(flow);
+                    let w = wire(rpc);
+                    if !agg.poll_admit(&mut rpc.lane, LinkDir::ToClients, flow, w, &mut wf) {
+                        return;
+                    }
+                    rpc.stage = RpcStage::AggRXfer;
+                    let done = self.sim.now() + agg.spec().transfer_time(wire(rpc));
+                    if self.sleep_then(done, data) {
+                        return;
+                    }
+                }
+                RpcStage::AggRXfer => {
+                    self.fabric
+                        .agg_of(flow)
+                        .finish_traverse(LinkDir::ToClients, rpc.payload as usize);
+                    rpc.stage = RpcStage::CliDrain;
+                    let woke = self.sim.now() + self.fabric.latency();
+                    if self.sleep_then(woke, data) {
+                        return;
+                    }
+                }
+                RpcStage::CliDrain => {
+                    let drained = self.advance_clock(
+                        rpc.idx,
+                        ClockId::CliRx,
+                        self.config.client_nic,
+                        wire(rpc),
+                    );
+                    rpc.stage = RpcStage::Complete;
+                    if self.sleep_then(drained, data) {
+                        return;
+                    }
+                }
+                RpcStage::Complete => break,
+            }
+        }
+        // Free the record before completing: `try_emit` inside
+        // `complete` may immediately reuse it for this client's next
+        // emission, and `complete` must see the slab borrow released.
+        let (idx, seq, emitted_at, op, shadow) =
+            (rpc.idx, rpc.seq, rpc.emitted_at, rpc.op, rpc.shadow);
+        rpcs.slots[r as usize].next_free = rpcs.free_head;
+        rpcs.free_head = r;
+        drop(rpcs);
+        self.complete(idx, seq, emitted_at, op);
+        // The service task's slot is recycled only after its final poll
+        // returned — i.e. after `complete` (and any emissions it
+        // spawned) ran.
+        self.sim.drop_shadow(shadow);
     }
 
     /// The request half of one RPC: wait for the emission instant, cross
@@ -339,6 +742,10 @@ impl FlyTier {
             self.clients_done.set(self.clients_done.get() + 1);
             if self.clients_done.get() == self.config.clients {
                 self.finished.open();
+                // No RPC can arm another event now: break the
+                // handler → tier reference cycle so the tier frees when
+                // its caller drops it.
+                self.sim.clear_event_handler(self.handler.get());
             }
         } else {
             self.try_emit(idx);
@@ -365,8 +772,12 @@ impl FlyTier {
     }
 
     /// Digest of the strided client-observed WRITE RPC latencies.
+    /// Sorts the shared pool in place (`of_mut`) instead of snapshotting
+    /// it: percentiles are order-independent, and the megafleet render
+    /// path calls this per cell — no reason to clone a pool that can be
+    /// megabytes at a million clients.
     pub fn rpc_latency(&self) -> LatencyDigest {
-        LatencyDigest::of(&self.latencies.borrow())
+        LatencyDigest::of_mut(&mut self.latencies.borrow_mut())
     }
 
     /// Estimated resident bytes per client: the slab record plus this
@@ -417,7 +828,11 @@ mod tests {
         }
     }
 
-    fn run_tier(clients: u32, writes: u32) -> (Rc<FlyTier>, Rc<NfsServer>) {
+    fn run_tier_with(
+        clients: u32,
+        writes: u32,
+        engine: TierEngine,
+    ) -> (Rc<FlyTier>, Rc<NfsServer>, Sim) {
         let sim = Sim::new();
         let server_nic = NicSpec::gigabit();
         let fabric = Rc::new(Fabric::new(&sim, FabricConfig::new(server_nic)));
@@ -427,10 +842,18 @@ mod tests {
             &server,
             &fabric,
             toy_model(),
-            FlyTierConfig::new(clients, writes, server_nic),
+            FlyTierConfig {
+                engine,
+                ..FlyTierConfig::new(clients, writes, server_nic)
+            },
         );
         let t2 = Rc::clone(&tier);
         sim.run_until(async move { t2.wait_done().await });
+        (tier, server, sim)
+    }
+
+    fn run_tier(clients: u32, writes: u32) -> (Rc<FlyTier>, Rc<NfsServer>) {
+        let (tier, server, _) = run_tier_with(clients, writes, TierEngine::Events);
         (tier, server)
     }
 
@@ -449,6 +872,31 @@ mod tests {
         // No faithful clients attached: the server kept zero per-client
         // stats entries for the whole tier.
         assert!(server.per_client_stats().is_empty());
+    }
+
+    /// The taskless event engine must be observationally identical to
+    /// the two-task-per-RPC engine it replaces: same per-client
+    /// throughputs, same elapsed virtual time, same latency digest,
+    /// same server counters — and the same *event count*, since every
+    /// task poll maps one-for-one onto a slab-event dispatch (the
+    /// megafleet CSV records `sim.events()`, so byte-identity of
+    /// committed results rides on this).
+    #[test]
+    fn event_and_task_engines_are_bit_identical() {
+        for (clients, writes) in [(1, 3), (32, 4), (128, 8)] {
+            let (ta, sa, ma) = run_tier_with(clients, writes, TierEngine::Tasks);
+            let (te, se, me) = run_tier_with(clients, writes, TierEngine::Events);
+            assert_eq!(ta.per_client_mbps(), te.per_client_mbps());
+            assert_eq!(ta.elapsed(), te.elapsed());
+            assert_eq!(ta.rpc_latency(), te.rpc_latency());
+            assert_eq!(sa.slim_stats(), se.slim_stats());
+            assert_eq!(ma.now(), me.now());
+            assert_eq!(
+                ma.events(),
+                me.events(),
+                "event-count parity broke at {clients} clients x {writes} writes"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! MTU fragments into six IP fragments; with 9000-byte jumbo frames it
 //! fits in one.
 
+use std::cell::RefCell;
+
 /// IPv4 header bytes per fragment.
 pub const IP_HEADER: usize = 20;
 /// UDP header bytes (first fragment only).
@@ -38,9 +40,80 @@ pub fn wire_bytes(udp_payload: usize, mtu: usize) -> usize {
     udp_payload + UDP_HEADER + frags * (IP_HEADER + ETHERNET_OVERHEAD)
 }
 
+/// Free list of wire-payload buffers.
+///
+/// Steady-state WRITE/COMMIT traffic moves one `Vec<u8>` datagram per
+/// transmission; without recycling, every RPC allocates (and frees) its
+/// payload, its retransmit copies, and its reply. The pool keeps
+/// retired buffers (capacity intact, length zeroed) on a bounded
+/// per-thread free list so the steady state reuses them instead.
+/// Thread-local because each sweep cell runs its whole simulation on
+/// one worker thread; pooling never crosses simulations.
+const POOL_CAP: usize = 64;
+
+thread_local! {
+    static PAYLOAD_POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Takes an empty buffer from the payload pool (or a fresh one when the
+/// pool is dry). The buffer's capacity is whatever its previous life
+/// grew it to.
+pub fn pool_get() -> Vec<u8> {
+    PAYLOAD_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default()
+}
+
+/// Copies `bytes` into a pooled buffer — the allocation-free spelling of
+/// `bytes.to_vec()` once the pool has warmed up.
+pub fn pool_copy(bytes: &[u8]) -> Vec<u8> {
+    let mut buf = pool_get();
+    buf.extend_from_slice(bytes);
+    buf
+}
+
+/// Returns a retired buffer to the pool. Buffers that never allocated
+/// are dropped, and the pool is bounded at [`POOL_CAP`] so a burst
+/// cannot pin memory forever.
+pub fn pool_put(mut buf: Vec<u8>) {
+    if buf.capacity() == 0 {
+        return;
+    }
+    buf.clear();
+    PAYLOAD_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_CAP {
+            pool.push(buf);
+        }
+    });
+}
+
+/// Buffers currently parked in this thread's pool (for tests).
+pub fn pool_len() -> usize {
+    PAYLOAD_POOL.with(|p| p.borrow().len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn payload_pool_recycles_capacity() {
+        // Drain whatever other tests left behind so counts are ours.
+        while pool_get().capacity() > 0 {}
+        let mut buf = pool_get();
+        buf.extend_from_slice(&[1, 2, 3]);
+        let cap = buf.capacity();
+        let ptr = buf.as_ptr();
+        pool_put(buf);
+        let reused = pool_copy(&[9, 9]);
+        assert_eq!(reused.as_ptr(), ptr, "pooled buffer is reused");
+        assert!(reused.capacity() >= cap);
+        assert_eq!(reused, vec![9, 9], "cleared before reuse");
+        pool_put(reused);
+        assert!(pool_len() >= 1);
+        pool_put(Vec::new());
+    }
 
     #[test]
     fn small_datagram_is_one_fragment() {

@@ -13,10 +13,13 @@ pub mod nic;
 pub mod sched;
 pub mod switch;
 
-pub use frame::{fragments_for, wire_bytes, ETHERNET_OVERHEAD, IP_HEADER, UDP_HEADER};
+pub use frame::{
+    fragments_for, pool_copy, pool_get, pool_len, pool_put, wire_bytes, ETHERNET_OVERHEAD,
+    IP_HEADER, UDP_HEADER,
+};
 pub use nic::{DatagramPayload, Nic, NicSpec};
 pub use sched::{PortDrr, PortFifo, PortPolicy, PortSched, PortTicket, PortWrr, WeightTable};
-pub use switch::{Fabric, FabricConfig, LinkDir, SharedLink, Switch};
+pub use switch::{Fabric, FabricConfig, LaneAdmit, LinkDir, SharedLink, Switch};
 
 use nfsperf_sim::SimDuration;
 

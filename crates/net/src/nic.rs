@@ -17,7 +17,7 @@ use nfsperf_sim::{
     channel, ByteMeter, Counter, Receiver, Semaphore, Sender, Sim, SimDuration, SimTime, Trace,
 };
 
-use crate::frame::{fragments_for, wire_bytes};
+use crate::frame::{fragments_for, pool_put, wire_bytes};
 
 /// Static description of a NIC.
 #[derive(Debug, Clone, Copy)]
@@ -196,6 +196,8 @@ impl Nic {
                 }
                 if lost {
                     src.drops.inc();
+                    // The datagram dies here; its buffer does not.
+                    pool_put(payload);
                     return;
                 }
             }

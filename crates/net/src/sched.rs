@@ -90,32 +90,68 @@ impl WeightTable {
 /// scheduler hands tickets back from `pick_next` and the lane wakes
 /// them.
 pub struct PortTicket {
-    flow: u32,
-    cost: u64,
+    flow: Cell<u32>,
+    cost: Cell<u64>,
     woken: Cell<bool>,
     waker: RefCell<Option<Waker>>,
 }
 
+/// Free-list bound for recycled tickets; admissions beyond it fall back
+/// to plain allocation.
+const TICKET_POOL_CAP: usize = 64;
+
+thread_local! {
+    /// Recycled tickets, so steady-state lane admission allocates
+    /// nothing. Like the simulator's wait-node pool, [`PortTicket::new`]
+    /// only reuses a ticket whose strong count has fallen back to one
+    /// (the pool's own reference): a lane scheduler still holding a
+    /// clone can never see its ticket repurposed.
+    static TICKET_POOL: RefCell<Vec<Rc<PortTicket>>> = const { RefCell::new(Vec::new()) };
+}
+
 impl PortTicket {
     /// Creates a ticket for one datagram of `cost` wire bytes from
-    /// `flow`.
+    /// `flow`, reusing a retired ticket when the pool has one.
     pub fn new(flow: u32, cost: u64) -> Rc<PortTicket> {
-        Rc::new(PortTicket {
-            flow,
-            cost,
-            woken: Cell::new(false),
-            waker: RefCell::new(None),
+        TICKET_POOL.with(|p| {
+            let mut free = p.borrow_mut();
+            while let Some(t) = free.pop() {
+                if Rc::strong_count(&t) == 1 {
+                    t.flow.set(flow);
+                    t.cost.set(cost);
+                    t.woken.set(false);
+                    t.waker.borrow_mut().take();
+                    return t;
+                }
+                // A holder is still alive somewhere; forget this one.
+            }
+            Rc::new(PortTicket {
+                flow: Cell::new(flow),
+                cost: Cell::new(cost),
+                woken: Cell::new(false),
+                waker: RefCell::new(None),
+            })
         })
+    }
+
+    /// Returns a retired ticket to the pool.
+    pub(crate) fn recycle(t: Rc<PortTicket>) {
+        TICKET_POOL.with(|p| {
+            let mut free = p.borrow_mut();
+            if free.len() < TICKET_POOL_CAP {
+                free.push(t);
+            }
+        });
     }
 
     /// The datagram's source flow id.
     pub fn flow(&self) -> u32 {
-        self.flow
+        self.flow.get()
     }
 
     /// The datagram's wire-byte cost (pre-floor).
     pub fn cost(&self) -> u64 {
-        self.cost
+        self.cost.get()
     }
 
     pub(crate) fn wake(&self) {
@@ -129,6 +165,19 @@ impl PortTicket {
     /// lane-slot steal.
     pub(crate) fn rearm(&self) {
         self.woken.set(false);
+    }
+
+    /// Whether the lane has picked and woken this ticket (poll-style
+    /// analogue of `TicketWait` completing).
+    pub(crate) fn is_woken(&self) -> bool {
+        self.woken.get()
+    }
+
+    /// Stores a waker for the next wake — the poll-style analogue of
+    /// `TicketWait` returning `Poll::Pending`. Callers must check
+    /// [`PortTicket::is_woken`] first.
+    pub(crate) fn park(&self, waker: Waker) {
+        *self.waker.borrow_mut() = Some(waker);
     }
 }
 

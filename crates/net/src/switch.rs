@@ -42,8 +42,9 @@
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
+use std::task::Waker;
 
-use nfsperf_sim::{ByteMeter, Counter, LatencyDigest, Receiver, Sim, SimDuration};
+use nfsperf_sim::{ByteMeter, Counter, LatencyDigest, Receiver, Sim, SimDuration, SimTime};
 
 use crate::nic::{DatagramPayload, Nic, NicSpec};
 use crate::sched::{PortPolicy, PortSched, PortTicket, TicketWait};
@@ -162,6 +163,28 @@ fn arbiter_model_bytes() -> usize {
     std::mem::size_of::<nfsperf_sim::Semaphore>() + 32
 }
 
+/// In-flight state for one [`SharedLink::poll_admit`] traversal:
+/// arrival time (for queue-delay sampling) plus the queued ticket once
+/// the fast path fails. Built per hop with [`LaneAdmit::start`] and
+/// must be driven to admission once started — a queued ticket holds a
+/// scheduler slot, just as a parked [`SharedLink::traverse`] task does.
+pub struct LaneAdmit {
+    arrival: SimTime,
+    started: bool,
+    ticket: Option<Rc<PortTicket>>,
+}
+
+impl LaneAdmit {
+    /// Begins an admission arriving at `now`.
+    pub fn start(now: SimTime) -> LaneAdmit {
+        LaneAdmit {
+            arrival: now,
+            started: false,
+            ticket: None,
+        }
+    }
+}
+
 /// One full-duplex link shared by many paths — the server's uplink port.
 ///
 /// Each traversal serializes the datagram's wire bytes at the link rate
@@ -246,6 +269,7 @@ impl SharedLink {
                 // our poll: refund the pick and re-queue.
                 lane.sched.ungrant(flow, wire_len as u64);
             }
+            PortTicket::recycle(ticket);
         }
         lane.busy.set(true);
         lane.sample_queue_delay(self.sim.now().since(arrival));
@@ -254,6 +278,77 @@ impl SharedLink {
         // counts advance in dequeue order even when the scheduler
         // reorders flows (a DRR pick finishing its wire time must be
         // metered before the next pick starts, not racing release).
+        lane.meter.record(self.sim.now(), payload_len as u64);
+        lane.datagrams.inc();
+        lane.busy.set(false);
+        lane.kick();
+    }
+
+    /// Poll-style admission to the `dir` lane for taskless state
+    /// machines: `true` once the serialization slot is held (the caller
+    /// then models the wire time itself and calls
+    /// [`SharedLink::finish_traverse`] when it elapses), `false` after
+    /// parking a waker from `waker_factory` — call again when it fires.
+    ///
+    /// Every queue transition — fast-path barge, enqueue/kick, the
+    /// post-wake busy re-check and ungrant-requeue on a stolen slot —
+    /// replays [`SharedLink::traverse`]'s admission exactly, and both
+    /// kinds of traffic share each lane's one [`PortSched`], so mixed
+    /// task/event traffic drains in the identical order.
+    pub fn poll_admit(
+        &self,
+        st: &mut LaneAdmit,
+        dir: LinkDir,
+        flow: u32,
+        wire_len: usize,
+        waker_factory: &mut dyn FnMut() -> Waker,
+    ) -> bool {
+        let lane = &self.lanes[dir.lane()];
+        if !st.started {
+            st.started = true;
+            // Fast path: slot free, nothing queued — barge in without
+            // queueing (the semaphore's uncontended acquire).
+            if !(lane.busy.get() || lane.sched.queued() > 0) {
+                lane.busy.set(true);
+                lane.sample_queue_delay(self.sim.now().since(st.arrival));
+                return true;
+            }
+            let ticket = PortTicket::new(flow, wire_len as u64);
+            lane.sched.enqueue(Rc::clone(&ticket));
+            lane.kick();
+            st.ticket = Some(ticket);
+        }
+        loop {
+            let ticket = st.ticket.as_ref().expect("LaneAdmit ticket state");
+            if !ticket.is_woken() {
+                ticket.park(waker_factory());
+                return false;
+            }
+            ticket.rearm();
+            lane.pending_wakes.set(lane.pending_wakes.get() - 1);
+            if !lane.busy.get() {
+                break;
+            }
+            // Slot stolen by a fast-path arrival between our wake and
+            // our poll: refund the pick and re-queue.
+            lane.sched.ungrant(flow, wire_len as u64);
+            lane.sched.enqueue(Rc::clone(ticket));
+            lane.kick();
+        }
+        if let Some(t) = st.ticket.take() {
+            PortTicket::recycle(t);
+        }
+        lane.busy.set(true);
+        lane.sample_queue_delay(self.sim.now().since(st.arrival));
+        true
+    }
+
+    /// Completes a traversal admitted by [`SharedLink::poll_admit`] once
+    /// the caller's modeled wire time has elapsed: meters the payload in
+    /// dequeue order, releases the slot, and kicks the next pick —
+    /// [`SharedLink::traverse`]'s epilogue, verbatim.
+    pub fn finish_traverse(&self, dir: LinkDir, payload_len: usize) {
+        let lane = &self.lanes[dir.lane()];
         lane.meter.record(self.sim.now(), payload_len as u64);
         lane.datagrams.inc();
         lane.busy.set(false);

@@ -71,6 +71,40 @@ impl DiskModel {
         let _arm = self.arm.acquire().await;
     }
 
+    /// Poll-style first half of [`DiskModel::write_stream`]: acquires
+    /// the arm (parking a waker from `waker_factory` and returning
+    /// `None` while it is held elsewhere) and, once held, returns the
+    /// permit plus the streaming transfer time. The caller models the
+    /// transfer itself and then calls [`DiskModel::finish_write`].
+    pub fn poll_write_stream(
+        &self,
+        bytes: u64,
+        st: &mut nfsperf_sim::SemAcquire,
+        waker_factory: &mut dyn FnMut() -> std::task::Waker,
+    ) -> Option<(nfsperf_sim::SemPermit, SimDuration)> {
+        let permit = self.arm.poll_acquire(st, waker_factory)?;
+        Some((permit, self.transfer_time(bytes)))
+    }
+
+    /// Completes a streaming write admitted by
+    /// [`DiskModel::poll_write_stream`] after its transfer time elapsed:
+    /// meters the bytes, then releases the arm — the same order as the
+    /// async method (record while still holding the arm).
+    pub fn finish_write(&self, bytes: u64, permit: nfsperf_sim::SemPermit) {
+        self.meter.record(self.sim.now(), bytes);
+        drop(permit);
+    }
+
+    /// Poll-style [`DiskModel::barrier`]: `true` once the arm has been
+    /// acquired and immediately released, `false` after parking.
+    pub fn poll_barrier(
+        &self,
+        st: &mut nfsperf_sim::SemAcquire,
+        waker_factory: &mut dyn FnMut() -> std::task::Waker,
+    ) -> bool {
+        self.arm.poll_acquire(st, waker_factory).is_some()
+    }
+
     fn transfer_time(&self, bytes: u64) -> SimDuration {
         SimDuration((bytes * 1_000_000_000).div_ceil(self.stream_bps))
     }

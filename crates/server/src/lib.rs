@@ -17,13 +17,14 @@ pub mod server;
 
 pub use disk::DiskModel;
 pub use fs::{FsState, ROOT_FILEID};
-pub use nvram::Nvram;
+pub use nvram::{Nvram, NvramAdmit};
 pub use sched::{
     ClassedDrr, Drr, Fifo, LatencyDigest, OpClass, ReqMeta, SchedPolicy, Scheduler, ServiceEngine,
-    SvcSlot, Ticket,
+    SvcAdmit, SvcSlot, Ticket,
 };
 pub use server::{
-    BackendConfig, DiskKind, NfsServer, PerClientStats, ServerConfig, ServerStats, SlimTierStats,
+    BackendConfig, DiskKind, FlyStep, FlyweightOp, NfsServer, PerClientStats, ServerConfig,
+    ServerStats, SlimTierStats,
 };
 
 #[cfg(test)]
@@ -408,6 +409,170 @@ mod tests {
         assert_eq!(per_client.len(), base);
         assert_eq!(per_client[0].writes, 2);
         assert!(server.service_engine().service_samples(base).is_empty());
+    }
+
+    /// The poll-style flyweight machine must replay the async flyweight
+    /// path exactly: same finish times, same aggregate stats, on every
+    /// backend — including ones sized down to force NVRAM stalls and
+    /// inline dirty-cache flushes, where wait-queue order decides who
+    /// flushes what.
+    #[test]
+    fn flyweight_poll_machine_matches_task_engine() {
+        use nfsperf_sim::EventHandlerId;
+        use server::{FlyStep, FlyweightOp};
+        use std::cell::{Cell, RefCell};
+
+        const CLIENTS: usize = 4;
+        const WRITES: u32 = 8;
+        const BYTES: u64 = 64 * 1024;
+
+        fn configs() -> Vec<ServerConfig> {
+            let mut filer = ServerConfig::netapp_f85();
+            if let BackendConfig::Filer {
+                ref mut nvram_capacity,
+                ref mut checkpoint_offset,
+                ..
+            } = filer.backend
+            {
+                *nvram_capacity = 192 * 1024; // force admission stalls
+                *checkpoint_offset = SimDuration::from_micros(200);
+            }
+            let mut knfsd = ServerConfig::linux_knfsd();
+            if let BackendConfig::CacheDisk {
+                ref mut dirty_cap, ..
+            } = knfsd.backend
+            {
+                *dirty_cap = 128 * 1024; // force inline flushes
+            }
+            vec![filer, knfsd, ServerConfig::slow_100bt()]
+        }
+
+        type Outcome = (u64, ServerStats, SlimTierStats);
+
+        fn run_tasks(config: ServerConfig) -> Outcome {
+            let sim = Sim::new();
+            let server = NfsServer::new(&sim, config);
+            let base = server.register_slim_clients(CLIENTS);
+            let done = Rc::new(Cell::new(0usize));
+            let finish = Rc::new(Cell::new(0u64));
+            for c in 0..CLIENTS {
+                let srv = Rc::clone(&server);
+                let done = Rc::clone(&done);
+                let finish = Rc::clone(&finish);
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for _ in 0..WRITES {
+                        srv.serve_flyweight_write(base + c, BYTES).await;
+                    }
+                    srv.serve_flyweight_commit(base + c).await;
+                    finish.set(finish.get().max(s.now().as_nanos()));
+                    done.set(done.get() + 1);
+                });
+            }
+            let s = sim.clone();
+            let d = Rc::clone(&done);
+            sim.run_until(async move {
+                while d.get() < CLIENTS {
+                    s.sleep(SimDuration::from_micros(100)).await;
+                }
+            });
+            (finish.get(), server.stats(), server.slim_stats())
+        }
+
+        fn run_events(config: ServerConfig) -> Outcome {
+            struct Chain {
+                writes_left: u32,
+                committed: bool,
+                op: FlyweightOp,
+            }
+            struct Driver {
+                sim: Sim,
+                server: Rc<NfsServer>,
+                handler: Cell<EventHandlerId>,
+                chains: RefCell<Vec<Chain>>,
+                base: usize,
+                live: Cell<usize>,
+                finish: Cell<u64>,
+            }
+            impl Driver {
+                fn step(&self, idx: usize) {
+                    let mut chains = self.chains.borrow_mut();
+                    let chain = &mut chains[idx];
+                    let sim = self.sim.clone();
+                    let h = self.handler.get();
+                    let data = idx as u64;
+                    let mut wf = move || sim.event_waker(h, data).1;
+                    loop {
+                        match self.server.poll_flyweight(&mut chain.op, &mut wf) {
+                            FlyStep::Parked => return,
+                            FlyStep::Sleep(d) => {
+                                let deadline =
+                                    nfsperf_sim::SimTime(self.sim.now().as_nanos() + d.as_nanos());
+                                if deadline > self.sim.now() {
+                                    self.sim.schedule_event(deadline, h, data);
+                                    return;
+                                }
+                            }
+                            FlyStep::Done => {
+                                if chain.writes_left > 0 {
+                                    chain.writes_left -= 1;
+                                    chain.op =
+                                        self.server.begin_flyweight_write(self.base + idx, BYTES);
+                                } else if !chain.committed {
+                                    chain.committed = true;
+                                    chain.op =
+                                        self.server.begin_flyweight_commit(self.base + idx);
+                                } else {
+                                    self.finish
+                                        .set(self.finish.get().max(self.sim.now().as_nanos()));
+                                    self.live.set(self.live.get() - 1);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            let sim = Sim::new();
+            let server = NfsServer::new(&sim, config);
+            let base = server.register_slim_clients(CLIENTS);
+            let driver = Rc::new(Driver {
+                sim: sim.clone(),
+                server: Rc::clone(&server),
+                handler: Cell::new(sim.register_event_handler(Rc::new(|_| {}))),
+                chains: RefCell::new(Vec::new()),
+                base,
+                live: Cell::new(CLIENTS),
+                finish: Cell::new(0),
+            });
+            let d = Rc::clone(&driver);
+            let h = sim.register_event_handler(Rc::new(move |data| d.step(data as usize)));
+            driver.handler.set(h);
+            for c in 0..CLIENTS {
+                driver.chains.borrow_mut().push(Chain {
+                    writes_left: WRITES - 1,
+                    committed: false,
+                    op: server.begin_flyweight_write(base + c, BYTES),
+                });
+                sim.post_event(h, c as u64);
+            }
+            let s = sim.clone();
+            let d = Rc::clone(&driver);
+            sim.run_until(async move {
+                while d.live.get() > 0 {
+                    s.sleep(SimDuration::from_micros(100)).await;
+                }
+            });
+            sim.clear_event_handler(h);
+            (driver.finish.get(), server.stats(), server.slim_stats())
+        }
+
+        for config in configs() {
+            let name = config.name;
+            let tasks = run_tasks(config.clone());
+            let events = run_events(config);
+            assert_eq!(tasks, events, "engines diverged on {name}");
+        }
     }
 
     #[test]

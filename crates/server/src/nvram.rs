@@ -10,9 +10,25 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
-use nfsperf_sim::{Sim, WaitQueue};
+use nfsperf_sim::{Sim, WaitFuture, WaitQueue};
 
 use crate::disk::DiskModel;
+
+/// In-flight state for [`Nvram::poll_admit`]; `Default` is the
+/// not-yet-started state.
+#[derive(Default)]
+pub struct NvramAdmit {
+    started: bool,
+    wait: Option<WaitFuture>,
+}
+
+impl NvramAdmit {
+    /// Resets to the not-yet-started state for reuse by the next RPC.
+    pub fn reset(&mut self) {
+        self.started = false;
+        self.wait = None;
+    }
+}
 
 /// Drain granularity: how much the background task moves per disk write.
 const DRAIN_CHUNK: u64 = 256 * 1024;
@@ -71,6 +87,50 @@ impl Nvram {
         self.peak.set(self.peak.get().max(u));
         self.total_admitted.set(self.total_admitted.get() + bytes);
         self.work.wake_all();
+    }
+
+    /// Poll-style [`Nvram::admit`] for taskless state machines: `true`
+    /// once the bytes are logged, `false` after parking a waker from
+    /// `waker_factory` (call again when it fires). Stall accounting,
+    /// the re-check loop against drain progress, and the drain-task
+    /// kick replay the async method exactly; parked flyweights share
+    /// the `space` queue with any parked tasks.
+    pub fn poll_admit(
+        &self,
+        bytes: u64,
+        st: &mut NvramAdmit,
+        waker_factory: &mut dyn FnMut() -> std::task::Waker,
+    ) -> bool {
+        if !st.started {
+            st.started = true;
+            assert!(
+                bytes <= self.capacity,
+                "single admission {bytes} larger than NVRAM {}",
+                self.capacity
+            );
+            if self.used.get() + bytes > self.capacity {
+                self.full_stalls.set(self.full_stalls.get() + 1);
+            }
+        }
+        if let Some(w) = st.wait.as_ref() {
+            if !w.is_woken() {
+                w.park(waker_factory());
+                return false;
+            }
+            st.wait = None;
+        }
+        if self.used.get() + bytes > self.capacity {
+            let w = self.space.wait();
+            w.park(waker_factory());
+            st.wait = Some(w);
+            return false;
+        }
+        let u = self.used.get() + bytes;
+        self.used.set(u);
+        self.peak.set(self.peak.get().max(u));
+        self.total_admitted.set(self.total_admitted.get() + bytes);
+        self.work.wake_all();
+        true
     }
 
     async fn drain_loop(&self, disk: Rc<DiskModel>) {

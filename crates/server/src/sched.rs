@@ -79,23 +79,58 @@ pub struct ReqMeta {
 /// parks the requesting task on its ticket; the scheduler hands tickets
 /// back from `pick_next` and the engine wakes them.
 pub struct Ticket {
-    meta: ReqMeta,
+    meta: Cell<ReqMeta>,
     woken: Cell<bool>,
     waker: RefCell<Option<Waker>>,
 }
 
+/// Free-list bound for recycled tickets; admissions beyond it fall back
+/// to plain allocation.
+const TICKET_POOL_CAP: usize = 64;
+
+thread_local! {
+    /// Recycled tickets, so steady-state admission allocates nothing.
+    /// Like the simulator's wait-node pool, `Ticket::new` only reuses a
+    /// ticket whose strong count has fallen back to one (the pool's own
+    /// reference): a scheduler queue still holding a clone can never
+    /// see its ticket repurposed.
+    static TICKET_POOL: RefCell<Vec<Rc<Ticket>>> = const { RefCell::new(Vec::new()) };
+}
+
 impl Ticket {
     fn new(meta: ReqMeta) -> Rc<Ticket> {
-        Rc::new(Ticket {
-            meta,
-            woken: Cell::new(false),
-            waker: RefCell::new(None),
+        TICKET_POOL.with(|p| {
+            let mut free = p.borrow_mut();
+            while let Some(t) = free.pop() {
+                if Rc::strong_count(&t) == 1 {
+                    t.meta.set(meta);
+                    t.woken.set(false);
+                    t.waker.borrow_mut().take();
+                    return t;
+                }
+                // A holder is still alive somewhere; forget this one.
+            }
+            Rc::new(Ticket {
+                meta: Cell::new(meta),
+                woken: Cell::new(false),
+                waker: RefCell::new(None),
+            })
         })
     }
 
+    /// Returns a retired ticket to the pool.
+    fn recycle(t: Rc<Ticket>) {
+        TICKET_POOL.with(|p| {
+            let mut free = p.borrow_mut();
+            if free.len() < TICKET_POOL_CAP {
+                free.push(t);
+            }
+        });
+    }
+
     /// The request's scheduling metadata.
-    pub fn meta(&self) -> &ReqMeta {
-        &self.meta
+    pub fn meta(&self) -> ReqMeta {
+        self.meta.get()
     }
 
     fn wake(&self) {
@@ -109,6 +144,18 @@ impl Ticket {
     /// slot steal.
     fn rearm(&self) {
         self.woken.set(false);
+    }
+
+    /// Whether the engine has picked and woken this ticket (poll-style
+    /// analogue of `TicketWait` completing).
+    fn is_woken(&self) -> bool {
+        self.woken.get()
+    }
+
+    /// Stores a waker for the next wake — the poll-style analogue of
+    /// `TicketWait` returning `Poll::Pending`.
+    fn park(&self, waker: Waker) {
+        *self.waker.borrow_mut() = Some(waker);
     }
 }
 
@@ -293,7 +340,7 @@ impl Scheduler for DrrCore {
     }
 
     fn enqueue(&self, ticket: Rc<Ticket>) {
-        let meta = *ticket.meta();
+        let meta = ticket.meta();
         let class = self.class_of(meta.class);
         let mut inner = self.inner.borrow_mut();
         inner.ensure(meta.client, self.classes);
@@ -698,6 +745,7 @@ impl ServiceEngine {
             self.pending_wakes.set(self.pending_wakes.get() - 1);
             if self.free.get() > 0 {
                 self.take_slot(&meta);
+                Ticket::recycle(ticket);
                 return SvcSlot {
                     engine: Rc::clone(self),
                     meta,
@@ -707,6 +755,61 @@ impl ServiceEngine {
             // poll: give the grant back and re-queue at the back, as a
             // semaphore waiter re-queues.
             self.sched.ungrant(&meta);
+        }
+    }
+
+    /// Poll-style [`ServiceEngine::admit`] for taskless state machines:
+    /// `Some(slot)` once admitted, `None` after parking a waker from
+    /// `waker_factory` (call again when it fires). Every admission step
+    /// — byte accounting, the fast-path grant, enqueue/kick, the
+    /// post-wake free-slot re-check and ungrant-requeue on a stolen
+    /// slot — replays the async method exactly, and both kinds of
+    /// requester share the one scheduler queue, so mixed task/event
+    /// traffic is served in the identical order.
+    pub fn poll_admit(
+        self: &Rc<Self>,
+        meta: ReqMeta,
+        st: &mut SvcAdmit,
+        waker_factory: &mut dyn FnMut() -> Waker,
+    ) -> Option<SvcSlot> {
+        if !st.started {
+            st.started = true;
+            self.enqueued_bytes.add(meta.bytes);
+            if self.free.get() > 0 && self.sched.queued() == 0 && self.sched.try_grant(&meta) {
+                self.take_slot(&meta);
+                return Some(SvcSlot {
+                    engine: Rc::clone(self),
+                    meta,
+                });
+            }
+            let ticket = Ticket::new(meta);
+            self.sched.enqueue(Rc::clone(&ticket));
+            self.kick();
+            st.ticket = Some(ticket);
+        }
+        loop {
+            let ticket = st.ticket.as_ref().expect("SvcAdmit ticket state");
+            if !ticket.is_woken() {
+                ticket.park(waker_factory());
+                return None;
+            }
+            ticket.rearm();
+            self.pending_wakes.set(self.pending_wakes.get() - 1);
+            if self.free.get() > 0 {
+                if let Some(t) = st.ticket.take() {
+                    Ticket::recycle(t);
+                }
+                self.take_slot(&meta);
+                return Some(SvcSlot {
+                    engine: Rc::clone(self),
+                    meta,
+                });
+            }
+            // A fast-path arrival stole the slot between our wake and our
+            // poll: give the grant back and re-queue at the back.
+            self.sched.ungrant(&meta);
+            self.sched.enqueue(Rc::clone(ticket));
+            self.kick();
         }
     }
 
@@ -752,6 +855,23 @@ fn record_sample(store: &RefCell<Vec<Vec<SimDuration>>>, client: usize, sample: 
     store[client].push(sample);
 }
 
+/// In-flight state for [`ServiceEngine::poll_admit`]; `Default` is the
+/// not-yet-started state. Must be driven to admission once started — a
+/// queued ticket holds scheduler state, just as a parked task does.
+#[derive(Default)]
+pub struct SvcAdmit {
+    started: bool,
+    ticket: Option<Rc<Ticket>>,
+}
+
+impl SvcAdmit {
+    /// Resets to the not-yet-started state for reuse by the next RPC.
+    pub fn reset(&mut self) {
+        self.started = false;
+        self.ticket = None;
+    }
+}
+
 /// RAII service slot from [`ServiceEngine::admit`]; releases (and
 /// dispatches the next pick) on drop.
 #[must_use = "dropping the slot immediately would serve the request in zero slots"]
@@ -787,7 +907,7 @@ mod tests {
         let mut order = Vec::new();
         while let Some(t) = sched.pick_next() {
             order.push(t.meta().client);
-            sched.on_complete(t.meta());
+            sched.on_complete(&t.meta());
         }
         order
     }
@@ -885,7 +1005,7 @@ mod tests {
         let mut served = [0i64, 0i64];
         let mut picks = 0usize;
         while let Some(t) = sched.pick_next() {
-            let m = *t.meta();
+            let m = t.meta();
             served[m.client] += m.bytes as i64;
             sched.on_complete(&m);
             picks += 1;
@@ -921,7 +1041,7 @@ mod tests {
         assert!(sched.pick_next().is_none());
         assert_eq!(sched.queued(), 3);
         // Completing one of client 0's requests unblocks it.
-        sched.on_complete(first.meta());
+        sched.on_complete(&first.meta());
         assert_eq!(sched.pick_next().expect("unblocked").meta().client, 0);
     }
 

@@ -10,7 +10,9 @@ use nfsperf_nfs3::{
     Lookup3Res, NfsProc3, NfsStat3, Read3Args, Read3Res, Setattr3Args, Setattr3Res, StableHow,
     WccData, Write3Args, Write3Res, WriteVerf, NFS_PROGRAM, NFS_V3,
 };
-use nfsperf_sim::{Counter, Gate, Receiver, Sim, SimDuration, SimTime};
+use nfsperf_sim::{
+    Counter, Gate, GatePass, Receiver, SemAcquire, SemPermit, Sim, SimDuration, SimTime,
+};
 use nfsperf_sunrpc::{
     decode_call, encode_record, encode_reply, encode_reply_status, RecordReader,
     ACCEPT_GARBAGE_ARGS, ACCEPT_PROC_UNAVAIL, ACCEPT_PROG_MISMATCH, ACCEPT_PROG_UNAVAIL,
@@ -20,8 +22,10 @@ use nfsperf_xdr::XdrDecode;
 
 use crate::disk::DiskModel;
 use crate::fs::FsState;
-use crate::nvram::Nvram;
-use crate::sched::{LatencyDigest, OpClass, ReqMeta, SchedPolicy, ServiceEngine, SvcSlot};
+use crate::nvram::{Nvram, NvramAdmit};
+use crate::sched::{
+    LatencyDigest, OpClass, ReqMeta, SchedPolicy, ServiceEngine, SvcAdmit, SvcSlot,
+};
 
 /// Which disk model a backend drains to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,6 +272,92 @@ impl ReplySink {
     }
 }
 
+/// What a [`NfsServer::poll_flyweight`] call asks its driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlyStep {
+    /// The op parked a waker in a server wait queue; poll again when it
+    /// fires.
+    Parked,
+    /// Model this much service or disk-transfer time, then poll again.
+    Sleep(SimDuration),
+    /// The reply would leave the server now; the op is finished.
+    Done,
+}
+
+/// Which RPC a flyweight op serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlyKind {
+    Write,
+    Commit,
+}
+
+/// Pipeline position of an in-flight flyweight op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlyStage {
+    /// Waiting out a filer checkpoint (skipped on other backends).
+    Gate,
+    /// Queued for a service slot.
+    Admit,
+    /// Service time slept; run the backend (NVRAM / dirty cache).
+    Backend,
+    /// Disk arm held and transfer time slept; complete the flush.
+    DiskXfer,
+    /// Bump counters and release the slot.
+    Finish,
+    /// Terminal; further polls are no-ops.
+    Done,
+}
+
+/// One flyweight WRITE or COMMIT advanced as a poll-style state machine
+/// instead of a spawned task. The event-driven client tier embeds one
+/// per RPC record and drives it with [`NfsServer::poll_flyweight`]; all
+/// wait-state scratch lives inline (plain `Option`s), so constructing a
+/// fresh op per RPC allocates nothing.
+pub struct FlyweightOp {
+    client: usize,
+    kind: FlyKind,
+    bytes: u64,
+    arrival: SimTime,
+    stage: FlyStage,
+    gate: GatePass,
+    admit: SvcAdmit,
+    slot: Option<SvcSlot>,
+    nvram: NvramAdmit,
+    disk: SemAcquire,
+    permit: Option<SemPermit>,
+    /// Dirty-cache bytes this op flushes (cache-disk backend only).
+    flush: u64,
+    /// Whether the backend stage already ran its entry bookkeeping
+    /// (flush sizing, `inline_flushes`, the commit's dirty claim) —
+    /// parking on the disk arm must not repeat it.
+    backend_entered: bool,
+}
+
+impl FlyweightOp {
+    fn new(client: usize, kind: FlyKind, bytes: u64, arrival: SimTime) -> FlyweightOp {
+        FlyweightOp {
+            client,
+            kind,
+            bytes,
+            arrival,
+            stage: FlyStage::Gate,
+            gate: GatePass::default(),
+            admit: SvcAdmit::default(),
+            slot: None,
+            nvram: NvramAdmit::default(),
+            disk: SemAcquire::default(),
+            permit: None,
+            flush: 0,
+            backend_entered: false,
+        }
+    }
+
+    /// Whether the op has finished (reply left the server).
+    pub fn is_done(&self) -> bool {
+        self.stage == FlyStage::Done
+    }
+}
+
 /// A running simulated NFS server.
 pub struct NfsServer {
     sim: Sim,
@@ -455,6 +545,178 @@ impl NfsServer {
         self.ops.inc();
         self.commits.inc();
         self.slim_commits.inc();
+    }
+
+    /// Starts a flyweight WRITE as a poll-style op: the taskless twin of
+    /// [`NfsServer::serve_flyweight_write`]. Runs the same entry
+    /// bookkeeping the async method's first lines do (tier op count,
+    /// arrival timestamp), then hands back a state machine the caller
+    /// advances with [`NfsServer::poll_flyweight`].
+    pub fn begin_flyweight_write(&self, client: usize, bytes: u64) -> FlyweightOp {
+        self.slim_ops.inc();
+        FlyweightOp::new(client, FlyKind::Write, bytes, self.sim.now())
+    }
+
+    /// Starts a flyweight COMMIT as a poll-style op: the taskless twin of
+    /// [`NfsServer::serve_flyweight_commit`].
+    pub fn begin_flyweight_commit(&self, client: usize) -> FlyweightOp {
+        self.slim_ops.inc();
+        FlyweightOp::new(client, FlyKind::Commit, 0, self.sim.now())
+    }
+
+    /// Advances a flyweight op until it parks, needs simulated time, or
+    /// finishes. On [`FlyStep::Parked`] the op has parked a waker built
+    /// by `waker_factory` in one of the server's wait queues — poll again
+    /// when it fires. On [`FlyStep::Sleep`] the caller models that much
+    /// service or disk-transfer time and polls again. Every queue
+    /// transition replays the async methods exactly (same checkpoint
+    /// gate, scheduler queue, NVRAM stalls, dirty-cache flushes, counter
+    /// order), so task-served and event-served flyweights interleave
+    /// bit-identically.
+    pub fn poll_flyweight(
+        &self,
+        op: &mut FlyweightOp,
+        waker_factory: &mut dyn FnMut() -> std::task::Waker,
+    ) -> FlyStep {
+        loop {
+            match op.stage {
+                FlyStage::Gate => {
+                    // Checkpoint pause happens before service; once
+                    // passed, the gate is never re-checked (a task past
+                    // `pass().await` does not return to it either).
+                    if let Backend::Filer { checkpoint, .. } = &self.backend {
+                        if !checkpoint.poll_pass(&mut op.gate, waker_factory) {
+                            return FlyStep::Parked;
+                        }
+                    }
+                    op.stage = FlyStage::Admit;
+                }
+                FlyStage::Admit => {
+                    let (class, bytes) = match op.kind {
+                        FlyKind::Write => (OpClass::Write, op.bytes),
+                        FlyKind::Commit => (OpClass::Commit, 0),
+                    };
+                    let meta = ReqMeta {
+                        client: op.client,
+                        class,
+                        bytes,
+                        arrival: op.arrival,
+                    };
+                    match self.engine.poll_admit(meta, &mut op.admit, waker_factory) {
+                        None => return FlyStep::Parked,
+                        Some(slot) => {
+                            op.slot = Some(slot);
+                            op.stage = FlyStage::Backend;
+                            let service = match op.kind {
+                                FlyKind::Write => self.fixed_op_cost + self.data_time(op.bytes),
+                                FlyKind::Commit => self.fixed_op_cost,
+                            };
+                            return FlyStep::Sleep(service);
+                        }
+                    }
+                }
+                FlyStage::Backend => match (op.kind, &self.backend) {
+                    (FlyKind::Write, Backend::Filer { nvram, .. }) => {
+                        if !nvram.poll_admit(op.bytes, &mut op.nvram, waker_factory) {
+                            return FlyStep::Parked;
+                        }
+                        op.stage = FlyStage::Finish;
+                    }
+                    (
+                        FlyKind::Write,
+                        Backend::CacheDisk {
+                            dirty,
+                            dirty_cap,
+                            disk,
+                            inline_flushes,
+                        },
+                    ) => {
+                        // Flush sizing and the stat bump happen once, on
+                        // entry, before any wait on the arm — exactly
+                        // where the async method reads `dirty`.
+                        if !op.backend_entered {
+                            op.backend_entered = true;
+                            if dirty.get() + op.bytes > *dirty_cap {
+                                op.flush = dirty.get() / 2 + op.bytes;
+                                inline_flushes.inc();
+                            }
+                        }
+                        if op.flush > 0 {
+                            match disk.poll_write_stream(op.flush, &mut op.disk, waker_factory) {
+                                None => return FlyStep::Parked,
+                                Some((permit, xfer)) => {
+                                    op.permit = Some(permit);
+                                    op.stage = FlyStage::DiskXfer;
+                                    return FlyStep::Sleep(xfer);
+                                }
+                            }
+                        }
+                        dirty.set(dirty.get() + op.bytes);
+                        op.stage = FlyStage::Finish;
+                    }
+                    (FlyKind::Write, Backend::Memory) => op.stage = FlyStage::Finish,
+                    (FlyKind::Commit, Backend::Filer { .. } | Backend::Memory) => {
+                        op.stage = FlyStage::Finish;
+                    }
+                    (FlyKind::Commit, Backend::CacheDisk { dirty, disk, .. }) => {
+                        // Claim the dirty pool once, before touching the
+                        // disk — the same single `dirty.replace(0)` the
+                        // async method performs (see handle_commit for
+                        // why claiming first matters).
+                        if !op.backend_entered {
+                            op.backend_entered = true;
+                            op.flush = dirty.replace(0);
+                        }
+                        if op.flush > 0 {
+                            match disk.poll_write_stream(op.flush, &mut op.disk, waker_factory) {
+                                None => return FlyStep::Parked,
+                                Some((permit, xfer)) => {
+                                    op.permit = Some(permit);
+                                    op.stage = FlyStage::DiskXfer;
+                                    return FlyStep::Sleep(xfer);
+                                }
+                            }
+                        }
+                        if !disk.poll_barrier(&mut op.disk, waker_factory) {
+                            return FlyStep::Parked;
+                        }
+                        op.stage = FlyStage::Finish;
+                    }
+                },
+                FlyStage::DiskXfer => {
+                    let Backend::CacheDisk { dirty, disk, .. } = &self.backend else {
+                        unreachable!("disk transfer only exists on the cache-disk backend")
+                    };
+                    disk.finish_write(op.flush, op.permit.take().expect("arm permit held"));
+                    if op.kind == FlyKind::Write {
+                        dirty.set(dirty.get().saturating_sub(op.flush));
+                        dirty.set(dirty.get() + op.bytes);
+                    }
+                    op.stage = FlyStage::Finish;
+                }
+                FlyStage::Finish => {
+                    self.ops.inc();
+                    match op.kind {
+                        FlyKind::Write => {
+                            self.writes.inc();
+                            self.write_bytes.add(op.bytes);
+                            self.slim_writes.inc();
+                            self.slim_write_bytes.add(op.bytes);
+                        }
+                        FlyKind::Commit => {
+                            self.commits.inc();
+                            self.slim_commits.inc();
+                        }
+                    }
+                    // Counters first, slot release last: the async
+                    // methods bump stats and then drop `_svc` on return.
+                    op.slot = None;
+                    op.stage = FlyStage::Done;
+                    return FlyStep::Done;
+                }
+                FlyStage::Done => return FlyStep::Done,
+            }
+        }
     }
 
     /// Snapshot of the flyweight tier's shared counters.

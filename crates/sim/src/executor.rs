@@ -43,6 +43,33 @@ use crate::wheel::TimerWheel;
 /// Identifier of a spawned task.
 pub type TaskId = usize;
 
+/// Ready-queue entries with this bit set are encoded slab events, not
+/// task ids (the task table can never reach 2^63 slots). The remaining
+/// bits carry the event's slot index (low 32) and generation (next 31).
+const EVENT_TAG: usize = 1 << (usize::BITS - 1);
+/// Ready-queue entries with this bit set (and [`EVENT_TAG`] clear) are
+/// direct dispatches: a pre-encoded `(handler, data)` pair with no slab
+/// slot and no generation, for parked waits that are woken exactly once
+/// and never cancelled (see [`Sim::direct_waker`]).
+const DIRECT_TAG: usize = 1 << (usize::BITS - 2);
+/// Generations are 31 bits so a tagged `(gen, slot)` pair plus the tag
+/// fits one ready-queue word.
+const EVENT_GEN_MASK: u32 = 0x7fff_ffff;
+/// Direct words carry the handler in bits 32..62, below [`DIRECT_TAG`].
+const DIRECT_HANDLER_MAX: u32 = 1 << 30;
+// The tagged encoding needs a 64-bit ready-queue word.
+const _: () = assert!(usize::BITS == 64, "slab events need 64-bit usize");
+
+#[inline]
+fn encode_event(slot: u32, gen: u32) -> usize {
+    EVENT_TAG | ((gen as usize) << 32) | slot as usize
+}
+
+#[inline]
+fn encode_direct(handler: u32, data: u32) -> usize {
+    DIRECT_TAG | ((handler as usize) << 32) | data as usize
+}
+
 type LocalFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
 
 /// The FIFO queue of task ids that have been woken and await polling.
@@ -137,16 +164,142 @@ static WAKER_VTABLE: RawWakerVTable = RawWakerVTable::new(
     |_| {},
 );
 
-/// A slot in the task table.
-struct TaskSlot {
-    future: Option<LocalFuture>,
+/// Backing data for one event slot's waker (see [`ScheduledEvent`]).
+///
+/// `gen` is refreshed every time the slot is armed, so waking pushes the
+/// generation current at arm time; a wake that races a completed or
+/// cancelled arm pushes a stale generation and is dropped at dispatch.
+/// The contract matches how every primitive in [`crate::sync`] behaves:
+/// each parked waker is woken at most once per arm.
+///
+/// SAFETY contract: identical to [`WakerData`] — single-threaded use,
+/// owned by the core, outlives every clone.
+struct EventWakerData {
+    slot: u32,
+    gen: Cell<u32>,
+    ready: *const ReadyQueue,
 }
+
+static EVENT_WAKER_VTABLE: RawWakerVTable = RawWakerVTable::new(
+    // clone: identity — the data is owned by the core.
+    |data| RawWaker::new(data, &EVENT_WAKER_VTABLE),
+    // wake / wake_by_ref: push the tagged (slot, armed-gen) entry.
+    |data| unsafe {
+        let d = &*(data as *const EventWakerData);
+        (*d.ready).push(encode_event(d.slot, d.gen.get()));
+    },
+    |data| unsafe {
+        let d = &*(data as *const EventWakerData);
+        (*d.ready).push(encode_event(d.slot, d.gen.get()));
+    },
+    // drop: no-op.
+    |_| {},
+);
+
+/// Backing data for a direct waker: the ready-queue word is fully
+/// encoded at creation, so waking is a single push — no slab slot, no
+/// generation refresh, nothing to free at dispatch. Safe only under the
+/// woken-at-most-once-per-park contract every primitive in
+/// [`crate::sync`] (and the lane/server ticket handshakes built on the
+/// same shape) provides: a parked direct waker fires once, and its owner
+/// is guaranteed to still be parked at that stage when the dispatch
+/// runs, so no generation check is needed.
+///
+/// SAFETY contract: identical to [`WakerData`] — single-threaded use,
+/// owned by the core, outlives every waker clone.
+struct DirectWakerData {
+    word: usize,
+    ready: *const ReadyQueue,
+}
+
+static DIRECT_WAKER_VTABLE: RawWakerVTable = RawWakerVTable::new(
+    // clone: identity — the data is owned by the core.
+    |data| RawWaker::new(data, &DIRECT_WAKER_VTABLE),
+    // wake / wake_by_ref: push the pre-encoded word.
+    |data| unsafe {
+        let d = &*(data as *const DirectWakerData);
+        (*d.ready).push(d.word);
+    },
+    |data| unsafe {
+        let d = &*(data as *const DirectWakerData);
+        (*d.ready).push(d.word);
+    },
+    // drop: no-op.
+    |_| {},
+);
+
+/// What a wheel timer does when it fires: wake a task waker, or push an
+/// already-encoded slab-event entry onto the ready queue.
+///
+/// Events must NOT arm timers through their slot waker: the cached waker
+/// reads the slot's *current* generation at wake time, and a stale timer
+/// left in the wheel by a cancelled arm would then resurrect whatever
+/// event occupies the slot next (the ABA the generation counter exists
+/// to prevent). `Event` snapshots `(slot, gen)` at registration instead.
+enum TimerPayload {
+    Task(Waker),
+    Event(usize),
+    /// Fire-and-forget timed dispatch: no slab slot, no generation, no
+    /// ready-queue round trip — for schedulers that never cancel (the
+    /// flyweight tier's stage hops). Fired directly off the wheel.
+    Direct { handler: u32, data: u64 },
+}
+
+/// One generation-counted record in the event slab: which handler to
+/// call with which payload, valid only while `gen` matches the handle
+/// that armed it.
+struct EventSlot {
+    gen: Cell<u32>,
+    handler: Cell<u32>,
+    data: Cell<u64>,
+}
+
+/// Identifier of a registered event handler (see
+/// [`Sim::register_event_handler`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandlerId(u32);
+
+/// A registered dispatch target: called with each armed event's payload.
+pub type EventHandlerFn = Rc<dyn Fn(u64)>;
+
+/// Handle to one armed slab event.
+///
+/// A `ScheduledEvent` is a `(slot, generation)` pair: dispatching or
+/// cancelling the event bumps the slot's generation, so a stale handle
+/// (or a stale ready-queue entry) can never fire a slot that has been
+/// recycled for a different event — the classic ABA guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    slot: u32,
+    gen: u32,
+}
+
+/// A slot in the task table. The free list is intrusive — vacant slots
+/// link to the next free slot through the table itself, with the head in
+/// [`SimCore::free_head`] — so claiming and releasing a slot (which the
+/// flyweight tier does four times per RPC for its shadows) is one table
+/// borrow, not a table borrow plus a side-vector borrow.
+enum TaskSlot {
+    /// Free; `next` is the previously freed slot (`NO_SLOT` ends the
+    /// list). LIFO, exactly like the free vector it replaces, so slot
+    /// recycling order — observable through where stale wakes land — is
+    /// unchanged.
+    Vacant { next: usize },
+    /// A shadow occupant: no future to run, but a wake that reaches it
+    /// still counts one retired event (see [`Sim::spawn_shadow`]).
+    Shadow,
+    /// A live task; the future is `None` only while being polled.
+    Task(Option<LocalFuture>),
+}
+
+/// Free-list terminator for [`TaskSlot::Vacant`].
+const NO_SLOT: usize = usize::MAX;
 
 struct SimCore {
     now: Cell<SimTime>,
     timer_seq: Cell<u64>,
-    timers: RefCell<TimerWheel<Waker>>,
-    tasks: RefCell<Vec<Option<TaskSlot>>>,
+    timers: RefCell<TimerWheel<TimerPayload>>,
+    tasks: RefCell<Vec<TaskSlot>>,
     /// One cached waker per task-table slot. A waker carries only the
     /// slot index and the ready queue, so it never goes stale: it is
     /// created when the slot first exists and reused across every poll
@@ -158,7 +311,30 @@ struct SimCore {
     /// the pointers baked into the wakers stay stable as the table grows.
     #[allow(clippy::vec_box)]
     waker_data: RefCell<Vec<Box<WakerData>>>,
-    free_slots: RefCell<Vec<TaskId>>,
+    /// Head of the intrusive free list running through `tasks` (see
+    /// [`TaskSlot::Vacant`]); `NO_SLOT` when the table is full.
+    free_head: Cell<usize>,
+    /// The timed-event slab: generation-counted single-shot records
+    /// dispatched straight off the ready queue with no future, no task
+    /// slot and no per-event allocation. Slots are recycled through
+    /// `event_free`; each keeps a cached waker (over `event_waker_data`)
+    /// for timer registration and for parking in sync primitives.
+    event_slots: RefCell<Vec<EventSlot>>,
+    event_free: RefCell<Vec<u32>>,
+    event_wakers: RefCell<Vec<Waker>>,
+    /// Boxed so the pointers baked into the event wakers stay stable as
+    /// the slab grows (same pattern as `waker_data`).
+    #[allow(clippy::vec_box)]
+    event_waker_data: RefCell<Vec<Box<EventWakerData>>>,
+    /// Backing store for direct wakers ([`Sim::direct_waker`]); append-
+    /// only so the pointers baked into the wakers stay stable. Sized by
+    /// the callers' own slab growth (one per flyweight RPC record), so
+    /// it stops growing when they do.
+    #[allow(clippy::vec_box)]
+    direct_waker_data: RefCell<Vec<Box<DirectWakerData>>>,
+    /// Registered dispatch targets; an event stores only an index here
+    /// plus a `u64` payload, so dispatch is one dynamic call.
+    event_handlers: RefCell<Vec<Option<EventHandlerFn>>>,
     ready: Arc<ReadyQueue>,
     /// Count of tasks currently being polled; used to catch re-entrancy.
     polling: Cell<usize>,
@@ -229,7 +405,13 @@ impl Sim {
                 tasks: RefCell::new(Vec::new()),
                 wakers: RefCell::new(Vec::new()),
                 waker_data: RefCell::new(Vec::new()),
-                free_slots: RefCell::new(Vec::new()),
+                free_head: Cell::new(NO_SLOT),
+                event_slots: RefCell::new(Vec::new()),
+                event_free: RefCell::new(Vec::new()),
+                event_wakers: RefCell::new(Vec::new()),
+                event_waker_data: RefCell::new(Vec::new()),
+                direct_waker_data: RefCell::new(Vec::new()),
+                event_handlers: RefCell::new(Vec::new()),
                 ready: Arc::new(ReadyQueue::default()),
                 polling: Cell::new(0),
                 events: Cell::new(0),
@@ -253,7 +435,20 @@ impl Sim {
         self.core
             .timers
             .borrow_mut()
-            .push(deadline.as_nanos(), seq, waker);
+            .push(deadline.as_nanos(), seq, TimerPayload::Task(waker));
+    }
+
+    /// Registers a timer that pushes an encoded slab-event ready entry
+    /// when it fires; shares the `(deadline, seq)` order with task
+    /// timers. See [`TimerPayload`] for why the generation must be
+    /// captured here rather than read at fire time.
+    fn register_event_timer(&self, deadline: SimTime, code: usize) {
+        let seq = self.core.timer_seq.get();
+        self.core.timer_seq.set(seq + 1);
+        self.core
+            .timers
+            .borrow_mut()
+            .push(deadline.as_nanos(), seq, TimerPayload::Event(code));
     }
 
     /// Returns a future that completes after `dur` of simulated time.
@@ -305,12 +500,49 @@ impl Sim {
     }
 
     fn insert_task(&self, fut: LocalFuture) -> TaskId {
+        self.insert_slot(TaskSlot::Task(Some(fut)))
+    }
+
+    /// Reserves a task-table slot with no future behind it.
+    ///
+    /// Taskless engines that replace spawned tasks one-for-one (the
+    /// flyweight tier) use a shadow per replaced task so the table's
+    /// slot-recycling sequence — and therefore which slot a *stale* wake
+    /// lands on — is identical to the task engine's. A wake that reaches
+    /// a live shadow retires one event, exactly as the spurious no-op
+    /// poll of the replaced task did; without shadows those wakes land
+    /// on free slots and the engines' deterministic event counts drift
+    /// apart under load. Release with [`Sim::drop_shadow`] at the point
+    /// the replaced task would have returned.
+    pub fn spawn_shadow(&self) -> TaskId {
+        self.insert_slot(TaskSlot::Shadow)
+    }
+
+    /// Frees a slot reserved by [`Sim::spawn_shadow`].
+    pub fn drop_shadow(&self, id: TaskId) {
         let mut tasks = self.core.tasks.borrow_mut();
-        let id = if let Some(id) = self.core.free_slots.borrow_mut().pop() {
-            tasks[id] = Some(TaskSlot { future: Some(fut) });
-            id
+        debug_assert!(
+            matches!(tasks.get(id), Some(TaskSlot::Shadow)),
+            "drop_shadow on a non-shadow slot {id}"
+        );
+        tasks[id] = TaskSlot::Vacant {
+            next: self.core.free_head.get(),
+        };
+        self.core.free_head.set(id);
+    }
+
+    fn insert_slot(&self, slot: TaskSlot) -> TaskId {
+        let mut tasks = self.core.tasks.borrow_mut();
+        let head = self.core.free_head.get();
+        let id = if head != NO_SLOT {
+            let TaskSlot::Vacant { next } = tasks[head] else {
+                unreachable!("free-list head {head} not vacant");
+            };
+            self.core.free_head.set(next);
+            tasks[head] = slot;
+            head
         } else {
-            tasks.push(Some(TaskSlot { future: Some(fut) }));
+            tasks.push(slot);
             tasks.len() - 1
         };
         let mut wakers = self.core.wakers.borrow_mut();
@@ -361,10 +593,57 @@ impl Sim {
         }
     }
 
-    /// Polls every woken task until the ready queue is empty.
+    /// Polls every woken task — and dispatches every fired slab event —
+    /// until the ready queue is empty.
     fn drain_ready(&self) {
         while let Some(id) = self.core.ready.pop() {
-            self.poll_task(id);
+            if id & EVENT_TAG != 0 {
+                self.dispatch_event(id as u32, ((id >> 32) as u32) & EVENT_GEN_MASK);
+            } else if id & DIRECT_TAG != 0 {
+                self.dispatch_direct(id);
+            } else {
+                self.poll_task(id);
+            }
+        }
+    }
+
+    /// Dispatches one fired slab event: frees the slot, retires the
+    /// event, and runs the handler. A generation mismatch means the
+    /// event was cancelled (or its slot recycled) after the wake was
+    /// queued; like a spurious task wake it is dropped without counting.
+    fn dispatch_event(&self, slot: u32, gen: u32) {
+        let (handler, data) = {
+            let slots = self.core.event_slots.borrow();
+            let s = match slots.get(slot as usize) {
+                Some(s) => s,
+                None => return,
+            };
+            if s.gen.get() != gen {
+                return;
+            }
+            // Bump the generation before running anything: the handler
+            // may re-arm this very slot for a new event.
+            s.gen.set((gen + 1) & EVENT_GEN_MASK);
+            (s.handler.get(), s.data.get())
+        };
+        self.core.event_free.borrow_mut().push(slot);
+        self.core.events.set(self.core.events.get() + 1);
+        let h = self.core.event_handlers.borrow()[handler as usize].clone();
+        if let Some(h) = h {
+            h(data);
+        }
+    }
+
+    /// Dispatches one direct ready entry: retires the event and runs the
+    /// handler with the word's payload. No slot to free, no generation
+    /// to check — the encoding is complete in the word (see
+    /// [`Sim::direct_waker`]).
+    fn dispatch_direct(&self, word: usize) {
+        self.core.events.set(self.core.events.get() + 1);
+        let handler = (word >> 32) as u32 & (DIRECT_HANDLER_MAX - 1);
+        let h = self.core.event_handlers.borrow()[handler as usize].clone();
+        if let Some(h) = h {
+            h(u64::from(word as u32));
         }
     }
 
@@ -387,7 +666,22 @@ impl Sim {
             self.core.now.set(deadline);
         }
         self.core.events.set(self.core.events.get() + 1);
-        entry.payload.wake();
+        match entry.payload {
+            TimerPayload::Task(waker) => waker.wake(),
+            TimerPayload::Event(code) => self.core.ready.push(code),
+            // The ready queue is always drained empty before a timer
+            // fires, so dispatching inline observes the exact order (and
+            // event count) the push-pop round trip through the ready
+            // queue would: one event for the fire above, one for the
+            // dispatch here.
+            TimerPayload::Direct { handler, data } => {
+                self.core.events.set(self.core.events.get() + 1);
+                let h = self.core.event_handlers.borrow()[handler as usize].clone();
+                if let Some(h) = h {
+                    h(data);
+                }
+            }
+        }
         true
     }
 
@@ -397,7 +691,16 @@ impl Sim {
         let fut = {
             let mut tasks = self.core.tasks.borrow_mut();
             match tasks.get_mut(id) {
-                Some(Some(slot)) => match slot.future.take() {
+                Some(TaskSlot::Shadow) => {
+                    // A stale wake reached a recycled slot that a
+                    // shadow now occupies: retire one event, exactly
+                    // as the spurious no-op poll of the task that
+                    // would have occupied this slot did.
+                    drop(tasks);
+                    self.core.events.set(self.core.events.get() + 1);
+                    return;
+                }
+                Some(TaskSlot::Task(fut)) => match fut.take() {
                     Some(f) => f,
                     // Already being polled or already finished: spurious wake.
                     None => return,
@@ -420,19 +723,196 @@ impl Sim {
         let mut tasks = self.core.tasks.borrow_mut();
         match poll {
             Poll::Ready(()) => {
-                tasks[id] = None;
-                self.core.free_slots.borrow_mut().push(id);
+                tasks[id] = TaskSlot::Vacant {
+                    next: self.core.free_head.get(),
+                };
+                self.core.free_head.set(id);
             }
             Poll::Pending => {
-                if let Some(Some(slot)) = tasks.get_mut(id) {
-                    slot.future = Some(fut);
+                if let Some(TaskSlot::Task(slot)) = tasks.get_mut(id) {
+                    *slot = Some(fut);
                 }
             }
         }
     }
 
-    /// Events retired so far: task polls plus timer fires. The
-    /// micro-profiler divides this by wall-clock for events/sec.
+    /// Registers a dispatch target for slab events and returns its id.
+    ///
+    /// Handlers are registered once per subsystem (e.g. one per flyweight
+    /// tier); each armed event then carries only the id plus a `u64`
+    /// payload, so the steady-state path allocates nothing.
+    pub fn register_event_handler(&self, handler: EventHandlerFn) -> EventHandlerId {
+        let mut handlers = self.core.event_handlers.borrow_mut();
+        handlers.push(Some(handler));
+        EventHandlerId((handlers.len() - 1) as u32)
+    }
+
+    /// Drops a registered handler (events already armed for it are
+    /// silently discarded at dispatch). Subsystems that capture `Rc`
+    /// cycles back into the simulation call this when they finish, so
+    /// their world can be reclaimed.
+    pub fn clear_event_handler(&self, id: EventHandlerId) {
+        self.core.event_handlers.borrow_mut()[id.0 as usize] = None;
+    }
+
+    /// Claims a free event slot and arms it with `(handler, data)`,
+    /// refreshing the slot waker's generation snapshot.
+    fn arm_event(&self, handler: EventHandlerId, data: u64) -> ScheduledEvent {
+        let slot = match self.core.event_free.borrow_mut().pop() {
+            Some(s) => s,
+            None => {
+                let mut slots = self.core.event_slots.borrow_mut();
+                let slot = slots.len() as u32;
+                slots.push(EventSlot {
+                    gen: Cell::new(0),
+                    handler: Cell::new(0),
+                    data: Cell::new(0),
+                });
+                let mut wakers = self.core.event_wakers.borrow_mut();
+                let mut waker_data = self.core.event_waker_data.borrow_mut();
+                let boxed = Box::new(EventWakerData {
+                    slot,
+                    gen: Cell::new(0),
+                    ready: Arc::as_ptr(&self.core.ready),
+                });
+                let raw = RawWaker::new(
+                    &*boxed as *const EventWakerData as *const (),
+                    &EVENT_WAKER_VTABLE,
+                );
+                waker_data.push(boxed);
+                // SAFETY: see `EventWakerData` — single-threaded use,
+                // data outlives every waker clone.
+                wakers.push(unsafe { Waker::from_raw(raw) });
+                slot
+            }
+        };
+        let slots = self.core.event_slots.borrow();
+        let s = &slots[slot as usize];
+        let gen = s.gen.get();
+        s.handler.set(handler.0);
+        s.data.set(data);
+        self.core.event_waker_data.borrow()[slot as usize]
+            .gen
+            .set(gen);
+        ScheduledEvent { slot, gen }
+    }
+
+    /// Registers a timed dispatch of `handler(data)` at `deadline` with
+    /// no way to cancel it: the timer carries the handler id and payload
+    /// itself, touching neither the event slab nor the ready queue.
+    /// Cheaper than [`Sim::schedule_event`] on hot paths that never
+    /// cancel; identical event arithmetic (fire + dispatch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is not in the future — there is no inline
+    /// path; callers handle elapsed deadlines themselves.
+    pub fn schedule_direct(&self, deadline: SimTime, handler: EventHandlerId, data: u64) {
+        assert!(deadline > self.now(), "schedule_direct needs a future deadline");
+        let seq = self.core.timer_seq.get();
+        self.core.timer_seq.set(seq + 1);
+        self.core.timers.borrow_mut().push(
+            deadline.as_nanos(),
+            seq,
+            TimerPayload::Direct {
+                handler: handler.0,
+                data,
+            },
+        );
+    }
+
+    /// Arms a slab event that dispatches `handler(data)` at `deadline`
+    /// — no future, no task, no allocation in steady state. A deadline
+    /// at or before now dispatches on the next ready-queue drain.
+    pub fn schedule_event(
+        &self,
+        deadline: SimTime,
+        handler: EventHandlerId,
+        data: u64,
+    ) -> ScheduledEvent {
+        let ev = self.arm_event(handler, data);
+        if deadline > self.now() {
+            self.register_event_timer(deadline, encode_event(ev.slot, ev.gen));
+        } else {
+            self.core.ready.push(encode_event(ev.slot, ev.gen));
+        }
+        ev
+    }
+
+    /// Arms a slab event that dispatches on the next ready-queue drain —
+    /// the taskless analogue of [`Sim::spawn`]'s initial poll.
+    pub fn post_event(&self, handler: EventHandlerId, data: u64) -> ScheduledEvent {
+        let ev = self.arm_event(handler, data);
+        self.core.ready.push(encode_event(ev.slot, ev.gen));
+        ev
+    }
+
+    /// Arms a slab event and returns its waker, for parking in a sync
+    /// primitive ([`crate::sync`]): when the primitive wakes it, the
+    /// event dispatches. The waker must be woken at most once per arm
+    /// (which every primitive in this crate guarantees).
+    pub fn event_waker(&self, handler: EventHandlerId, data: u64) -> (ScheduledEvent, Waker) {
+        let ev = self.arm_event(handler, data);
+        let waker = self.core.event_wakers.borrow()[ev.slot as usize].clone();
+        (ev, waker)
+    }
+
+    /// Builds a reusable waker that dispatches `handler(data)` each time
+    /// it is woken — the zero-state spelling of [`Sim::event_waker`] for
+    /// callers whose parks are woken exactly once and never cancelled
+    /// (the flyweight tier's admission and service waits). The word is
+    /// encoded once; waking is a single ready-queue push and dispatch
+    /// touches no slab, so the waker can be built per long-lived record
+    /// and cloned for every park over its lifetime.
+    ///
+    /// Created once per caller-side slot: the backing store is append-
+    /// only (it must outlive every clone), so callers cache the waker,
+    /// not recreate it per park.
+    pub fn direct_waker(&self, handler: EventHandlerId, data: u32) -> Waker {
+        assert!(
+            handler.0 < DIRECT_HANDLER_MAX,
+            "direct wakers carry 30-bit handler ids"
+        );
+        let boxed = Box::new(DirectWakerData {
+            word: encode_direct(handler.0, data),
+            ready: Arc::as_ptr(&self.core.ready),
+        });
+        let raw = RawWaker::new(
+            &*boxed as *const DirectWakerData as *const (),
+            &DIRECT_WAKER_VTABLE,
+        );
+        self.core.direct_waker_data.borrow_mut().push(boxed);
+        // SAFETY: see `DirectWakerData` — single-threaded use, data
+        // outlives every waker clone.
+        unsafe { Waker::from_raw(raw) }
+    }
+
+    /// Cancels an armed event. Returns `true` if the event was still
+    /// armed (it will now never dispatch); `false` if it had already
+    /// dispatched or been cancelled — the ABA-safe no-op.
+    pub fn cancel_event(&self, ev: ScheduledEvent) -> bool {
+        let slots = self.core.event_slots.borrow();
+        let s = match slots.get(ev.slot as usize) {
+            Some(s) => s,
+            None => return false,
+        };
+        if s.gen.get() != ev.gen {
+            return false;
+        }
+        s.gen.set((ev.gen + 1) & EVENT_GEN_MASK);
+        drop(slots);
+        self.core.event_free.borrow_mut().push(ev.slot);
+        true
+    }
+
+    /// Number of currently armed slab events. Mostly for tests.
+    pub fn live_events(&self) -> usize {
+        self.core.event_slots.borrow().len() - self.core.event_free.borrow().len()
+    }
+
+    /// Events retired so far: task polls plus timer fires plus slab
+    /// event dispatches. The micro-profiler divides this by wall-clock
+    /// for events/sec.
     pub fn events(&self) -> u64 {
         self.core.events.get()
     }
@@ -443,7 +923,7 @@ impl Sim {
             .tasks
             .borrow()
             .iter()
-            .filter(|t| t.is_some())
+            .filter(|t| matches!(t, TaskSlot::Task(_)))
             .count()
     }
 }
@@ -722,5 +1202,294 @@ mod tests {
             h.await;
             assert_eq!(s.live_tasks(), before);
         });
+    }
+
+    type EventLog = Rc<RefCell<Vec<(u64, u64)>>>;
+
+    /// Registers a handler that appends `(now, data)` to a shared log.
+    fn logging_handler(sim: &Sim) -> (EventHandlerId, EventLog) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let l = log.clone();
+        let s = sim.clone();
+        let h = sim.register_event_handler(Rc::new(move |data| {
+            l.borrow_mut().push((s.now().as_nanos(), data));
+        }));
+        (h, log)
+    }
+
+    #[test]
+    fn events_fire_in_deadline_order() {
+        let sim = Sim::new();
+        let (h, log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            s.schedule_event(SimTime(300), h, 3);
+            s.schedule_event(SimTime(100), h, 1);
+            s.schedule_event(SimTime(200), h, 2);
+            s.sleep(SimDuration::from_nanos(400)).await;
+        });
+        assert_eq!(*log.borrow(), vec![(100, 1), (200, 2), (300, 3)]);
+        assert_eq!(sim.live_events(), 0);
+    }
+
+    #[test]
+    fn past_deadline_dispatches_without_advancing_clock() {
+        let sim = Sim::new();
+        let (h, log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            s.sleep(SimDuration::from_nanos(500)).await;
+            s.schedule_event(SimTime(100), h, 7);
+            s.post_event(h, 8);
+            yield_now().await;
+        });
+        assert_eq!(*log.borrow(), vec![(500, 7), (500, 8)]);
+    }
+
+    #[test]
+    fn event_dispatch_counts_one_engine_event() {
+        // Parity with the task engine: a timer-armed event costs one
+        // fire (wheel pop) + one dispatch, exactly like sleep's
+        // fire + poll; a posted event costs one dispatch like a poll.
+        let sim = Sim::new();
+        let (h, _log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            let base = s.events();
+            s.post_event(h, 0);
+            yield_now().await;
+            assert_eq!(s.events() - base, 2); // 1 dispatch + 1 yield poll
+        });
+    }
+
+    #[test]
+    fn cancel_prevents_dispatch_and_frees_slot() {
+        let sim = Sim::new();
+        let (h, log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            let ev = s.schedule_event(SimTime(100), h, 1);
+            assert_eq!(s.live_events(), 1);
+            assert!(s.cancel_event(ev));
+            assert_eq!(s.live_events(), 0);
+            assert!(!s.cancel_event(ev), "double cancel must be a no-op");
+            // The timer still fires (and counts), but the generation
+            // mismatch makes the dispatch a silent no-op.
+            s.sleep(SimDuration::from_nanos(200)).await;
+        });
+        assert!(log.borrow().is_empty());
+    }
+
+    #[test]
+    fn cancelled_slot_reuse_does_not_resurrect_old_event() {
+        let sim = Sim::new();
+        let (h, log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            let ev = s.schedule_event(SimTime(100), h, 1);
+            assert!(s.cancel_event(ev));
+            // Re-arm the same slot with a later deadline. The stale
+            // timer fires first; its generation is dead so nothing
+            // happens until the fresh event's own timer fires.
+            let ev2 = s.schedule_event(SimTime(300), h, 2);
+            assert_eq!(ev2.slot, ev.slot, "free list should reuse the slot");
+            s.sleep(SimDuration::from_nanos(400)).await;
+        });
+        assert_eq!(*log.borrow(), vec![(300, 2)]);
+    }
+
+    #[test]
+    fn event_waker_parks_until_woken() {
+        let sim = Sim::new();
+        let (h, log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            let (_ev, waker) = s.event_waker(h, 9);
+            s.sleep(SimDuration::from_nanos(50)).await;
+            assert!(log.borrow().is_empty());
+            waker.wake();
+            yield_now().await;
+            assert_eq!(*log.borrow(), vec![(50, 9)]);
+        });
+    }
+
+    #[test]
+    fn cleared_handler_discards_pending_events() {
+        let sim = Sim::new();
+        let (h, log) = logging_handler(&sim);
+        let s = sim.clone();
+        sim.run_until(async move {
+            s.schedule_event(SimTime(100), h, 1);
+            s.clear_event_handler(h);
+            s.sleep(SimDuration::from_nanos(200)).await;
+        });
+        assert!(log.borrow().is_empty());
+    }
+
+    #[test]
+    fn events_interleave_deterministically_with_tasks() {
+        let run = || {
+            let sim = Sim::new();
+            let (h, log) = logging_handler(&sim);
+            let s = sim.clone();
+            sim.run_until(async move {
+                for i in 0..8u64 {
+                    s.schedule_event(SimTime(10 * i), h, i);
+                }
+                let l2 = {
+                    let (h2, l2) = logging_handler(&s);
+                    s.schedule_event(SimTime(35), h2, 100);
+                    l2
+                };
+                s.sleep(SimDuration::from_nanos(200)).await;
+                let snap = l2.borrow().clone();
+                snap
+            });
+            let fired = log.borrow().clone();
+            (fired, sim.events())
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// One step of the randomized slab-lifecycle interpreter: indexes
+    /// refer to the script's table of previously armed events.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum SlabOp {
+        Schedule { delay: u64, data: u64 },
+        Post { data: u64 },
+        Cancel { target: usize },
+        Run { nanos: u64 },
+    }
+
+    impl crate::proptest::Shrink for SlabOp {
+        fn shrink_candidates(&self) -> Vec<SlabOp> {
+            match *self {
+                SlabOp::Schedule { delay, data } => delay
+                    .shrink_candidates()
+                    .into_iter()
+                    .map(|d| SlabOp::Schedule { delay: d, data })
+                    .collect(),
+                SlabOp::Post { .. } => Vec::new(),
+                SlabOp::Cancel { target } => target
+                    .shrink_candidates()
+                    .into_iter()
+                    .map(|t| SlabOp::Cancel { target: t })
+                    .collect(),
+                SlabOp::Run { nanos } => nanos
+                    .shrink_candidates()
+                    .into_iter()
+                    .map(|n| SlabOp::Run { nanos: n })
+                    .collect(),
+            }
+        }
+    }
+
+    /// ABA / use-after-cancel property (ISSUE 10 S3): over random
+    /// schedule/cancel/fire interleavings, every armed event dispatches
+    /// exactly once with its own payload unless cancelled first, a
+    /// cancelled event never dispatches even when its slot is re-armed
+    /// (generation guard), and cancel-after-fire reports `false`.
+    #[test]
+    fn prop_event_slab_generations_survive_reuse() {
+        use crate::proptest::{check, CaseOutcome};
+        use crate::{prop_assert, prop_assert_eq};
+
+        check(
+            "event_slab_generations_survive_reuse",
+            |g| {
+                g.vec(1, 48, |g| match g.u8_in(0, 3) {
+                    0 => SlabOp::Schedule {
+                        delay: g.u64_in(0, 400),
+                        data: g.any_u32() as u64,
+                    },
+                    1 => SlabOp::Post {
+                        data: g.any_u32() as u64,
+                    },
+                    2 => SlabOp::Cancel {
+                        target: g.usize_in(0, 63),
+                    },
+                    _ => SlabOp::Run {
+                        nanos: g.u64_in(0, 600),
+                    },
+                })
+            },
+            |script| {
+                let sim = Sim::new();
+                let (h, log) = logging_handler(&sim);
+                let s = sim.clone();
+                let script = script.clone();
+                // Expected-to-fire set, maintained by the reference
+                // interpreter: data -> armed deadline.
+                let outcome = sim.run_until(async move {
+                    let mut armed: Vec<(ScheduledEvent, u64, u64)> = Vec::new(); // (ev, data, deadline)
+                    let mut expected: Vec<(u64, u64)> = Vec::new();
+                    let mut cancelled: Vec<u64> = Vec::new();
+                    // Payloads are re-keyed to a unique counter so the
+                    // reference interpreter can match fires to arms.
+                    let mut next_data: u64 = 0;
+                    for op in script {
+                        match op {
+                            SlabOp::Schedule { delay, data: _ } => {
+                                let data = next_data;
+                                next_data += 1;
+                                let at = s.now() + SimDuration::from_nanos(delay);
+                                let ev = s.schedule_event(at, h, data);
+                                armed.push((ev, data, at.as_nanos()));
+                            }
+                            SlabOp::Post { data: _ } => {
+                                let data = next_data;
+                                next_data += 1;
+                                let ev = s.post_event(h, data);
+                                armed.push((ev, data, s.now().as_nanos()));
+                            }
+                            SlabOp::Cancel { target } => {
+                                if armed.is_empty() {
+                                    continue;
+                                }
+                                let (ev, data, deadline) = armed[target % armed.len()];
+                                let already_fired =
+                                    log.borrow().iter().any(|&(_, d)| d == data);
+                                let already_cancelled = cancelled.contains(&data);
+                                let ok = s.cancel_event(ev);
+                                if ok {
+                                    cancelled.push(data);
+                                } else if !already_fired && !already_cancelled {
+                                    return CaseOutcome::Fail(format!(
+                                        "cancel of live unfired event {data} (deadline \
+                                         {deadline}) returned false"
+                                    ));
+                                }
+                            }
+                            SlabOp::Run { nanos } => {
+                                s.sleep(SimDuration::from_nanos(nanos)).await;
+                            }
+                        }
+                    }
+                    // Drain everything still pending.
+                    s.sleep(SimDuration::from_nanos(1_000)).await;
+                    for (_, data, deadline) in &armed {
+                        if !cancelled.contains(data) {
+                            expected.push((*deadline, *data));
+                        }
+                    }
+                    let mut fired = log.borrow().clone();
+                    fired.sort_unstable();
+                    expected.sort_unstable();
+                    // Non-cancelled events must each fire exactly once at
+                    // their deadline; cancelled ones never.
+                    prop_assert_eq!(fired, expected);
+                    for data in &cancelled {
+                        prop_assert!(
+                            !log.borrow().iter().any(|(_, d)| d == data),
+                            "cancelled event {data} dispatched"
+                        );
+                    }
+                    // All slots must recycle.
+                    prop_assert_eq!(s.live_events(), 0);
+                    CaseOutcome::Pass
+                });
+                outcome
+            },
+        );
     }
 }

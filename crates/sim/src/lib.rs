@@ -36,7 +36,9 @@ pub mod sync;
 pub mod time;
 pub mod wheel;
 
-pub use executor::{yield_now, JoinHandle, Sim, Sleep, TaskId, YieldNow};
+pub use executor::{
+    yield_now, EventHandlerId, JoinHandle, ScheduledEvent, Sim, Sleep, TaskId, YieldNow,
+};
 pub use metrics::{
     mbps, mean, percentile, ByteMeter, Counter, Histogram, LatencyDigest, ProfileRow, Profiler,
     Trace,
@@ -46,7 +48,7 @@ pub use rng::SimRng;
 pub use runner::{default_jobs, run_cells, run_cells_profiled, Cell};
 pub use select::{select2, Either};
 pub use sync::{
-    channel, Gate, LockGuard, LockStats, Receiver, SemPermit, Semaphore, Sender, SimLock,
-    WaitFuture, WaitQueue,
+    channel, Gate, GatePass, LockGuard, LockStats, Receiver, SemAcquire, SemPermit, Semaphore,
+    Sender, SimLock, WaitFuture, WaitQueue,
 };
 pub use time::{SimDuration, SimTime};

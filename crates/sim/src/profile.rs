@@ -108,6 +108,13 @@ impl SweepStats {
 /// A full benchmark run: the rows behind `results/bench.json`.
 #[derive(Debug, Clone, Default)]
 pub struct BenchReport {
+    /// Hardware threads available on the host that ran the benchmark
+    /// (`std::thread::available_parallelism`); `0` when unrecorded
+    /// (reports written before the field existed). On a
+    /// single-hardware-thread host `--jobs N` cannot speed anything up,
+    /// so [`BenchReport::compare`] skips the jobs-speedup gate instead
+    /// of flagging a bogus regression.
+    pub host_parallelism: usize,
     /// One row per (sweep, jobs) measurement, in run order.
     pub sweeps: Vec<SweepStats>,
 }
@@ -143,7 +150,10 @@ impl BenchReport {
 
     /// Renders the report as JSON.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n  \"sweeps\": [\n");
+        let mut out = format!(
+            "{{\n  \"host_parallelism\": {},\n  \"sweeps\": [\n",
+            self.host_parallelism
+        );
         for (i, s) in self.sweeps.iter().enumerate() {
             let _ = write!(
                 out,
@@ -207,7 +217,24 @@ impl BenchReport {
         if sweeps.is_empty() {
             return Err("malformed report: no sweep rows".into());
         }
-        Ok(BenchReport { sweeps })
+        // Optional for backward compatibility: baselines written before
+        // the field default to 0 ("unrecorded"), never an error.
+        let host_parallelism = match text.find("\"host_parallelism\":") {
+            Some(at) => {
+                let rest = text[at + "\"host_parallelism\":".len()..].trim_start();
+                let end = rest
+                    .find(|c: char| !c.is_ascii_digit())
+                    .unwrap_or(rest.len());
+                rest[..end]
+                    .parse()
+                    .map_err(|_| "bad value for \"host_parallelism\"".to_string())?
+            }
+            None => 0,
+        };
+        Ok(BenchReport {
+            host_parallelism,
+            sweeps,
+        })
     }
 
     fn parse_sweep(obj: &str) -> Result<SweepStats, String> {
@@ -289,7 +316,17 @@ impl BenchReport {
                 ));
             }
             if cur.jobs > 1 {
-                if let (Some(cs), Some(bs)) = (
+                if self.host_parallelism == 1 {
+                    // One hardware thread: worker threads time-slice one
+                    // core, so parallel speedup is physically impossible
+                    // and gating on it would flag every run. Annotate
+                    // instead of comparing.
+                    out.lines.push(format!(
+                        "{} @ jobs {}: speedup gate skipped \
+                         (single-hardware-thread host)",
+                        cur.name, cur.jobs
+                    ));
+                } else if let (Some(cs), Some(bs)) = (
                     self.speedup(&cur.name, cur.jobs),
                     baseline.speedup(&cur.name, cur.jobs),
                 ) {
@@ -508,8 +545,10 @@ mod tests {
 
     #[test]
     fn json_round_trips_through_parse() {
-        let r = sample_report();
+        let mut r = sample_report();
+        r.host_parallelism = 8;
         let parsed = BenchReport::parse_json(&r.to_json()).expect("own JSON parses");
+        assert_eq!(parsed.host_parallelism, 8);
         assert_eq!(parsed.sweeps.len(), r.sweeps.len());
         for (p, orig) in parsed.sweeps.iter().zip(&r.sweeps) {
             assert_eq!(p.name, orig.name);
@@ -569,6 +608,48 @@ mod tests {
             events: 10,
         });
         assert!(extra.compare(&base, 0.30).passed());
+    }
+
+    #[test]
+    fn old_baselines_without_host_parallelism_still_parse() {
+        let json = sample_report().to_json();
+        let stripped = json.replace("  \"host_parallelism\": 0,\n", "");
+        assert!(!stripped.contains("host_parallelism"));
+        let parsed = BenchReport::parse_json(&stripped).expect("old shape parses");
+        assert_eq!(parsed.host_parallelism, 0, "unrecorded defaults to 0");
+    }
+
+    #[test]
+    fn single_thread_host_skips_speedup_gate() {
+        let base = sample_report();
+        // Serial events/sec intact, but the parallel row is as slow as
+        // serial — on a multi-thread host this fails the speedup gate...
+        let mut slow_parallel = base.clone();
+        slow_parallel.sweeps[1].wall = slow_parallel.sweeps[0].wall;
+        slow_parallel.sweeps[1].events = base.sweeps[0].events * 2;
+        let gated = slow_parallel.compare(&base, 0.30);
+        assert!(
+            gated.regressions.iter().any(|r| r.contains("speedup")),
+            "multi-thread host still gates speedup: {:?}",
+            gated.regressions
+        );
+        // ...but a single-hardware-thread host cannot speed up at all:
+        // the gate is skipped and annotated instead of failing.
+        slow_parallel.host_parallelism = 1;
+        let skipped = slow_parallel.compare(&base, 0.30);
+        assert!(
+            !skipped.regressions.iter().any(|r| r.contains("speedup")),
+            "single-thread host must not gate speedup: {:?}",
+            skipped.regressions
+        );
+        assert!(
+            skipped
+                .lines
+                .iter()
+                .any(|l| l.contains("single-hardware-thread")),
+            "skip must be annotated: {:?}",
+            skipped.lines
+        );
     }
 
     #[test]

@@ -184,6 +184,25 @@ pub struct WaitFuture {
     node: Rc<WaitNode>,
 }
 
+impl WaitFuture {
+    /// Returns `true` once the wake reached this waiter.
+    ///
+    /// Poll-style (taskless) callers use this instead of `await`: park a
+    /// waker with [`WaitFuture::park`], and when it fires re-check the
+    /// guarded predicate, exactly like a task would after its poll.
+    pub fn is_woken(&self) -> bool {
+        self.node.woken.get()
+    }
+
+    /// Stores `waker` to be fired by the queue's next wake of this node
+    /// — the poll-style analogue of returning `Poll::Pending` from
+    /// [`Future::poll`]. Callers must check [`WaitFuture::is_woken`]
+    /// first; parking an already-woken node would strand the waker.
+    pub fn park(&self, waker: Waker) {
+        *self.node.waker.borrow_mut() = Some(waker);
+    }
+}
+
 impl Future for WaitFuture {
     type Output = ();
 
@@ -489,6 +508,54 @@ impl Semaphore {
         self.queue.wake_one();
     }
 
+    /// Poll-style [`Semaphore::acquire`] for taskless state machines.
+    ///
+    /// Call with a fresh [`SemAcquire`] state; returns `Some(permit)` when
+    /// the permit is taken, or `None` after parking a waker from
+    /// `waker_factory` (call again when it fires). The waiting discipline
+    /// — fast path only before the first park, then re-checking only the
+    /// permit count on each wake — is byte-for-byte the discipline of the
+    /// async method, and both kinds of waiter share one FIFO queue.
+    ///
+    /// The factory is only invoked when the machine actually parks, so
+    /// fast-path acquisitions arm no event.
+    pub fn poll_acquire(
+        self: &Rc<Self>,
+        st: &mut SemAcquire,
+        waker_factory: &mut dyn FnMut() -> Waker,
+    ) -> Option<SemPermit> {
+        if st.wait.is_none() {
+            // Fast path: free permit and nobody queued ahead of us.
+            if self.permits.get() > 0 && self.queue.is_empty() {
+                self.permits.set(self.permits.get() - 1);
+                return Some(SemPermit {
+                    sem: Rc::clone(self),
+                    live: true,
+                });
+            }
+            let w = self.queue.wait();
+            w.park(waker_factory());
+            st.wait = Some(w);
+            return None;
+        }
+        loop {
+            let w = st.wait.as_ref().expect("SemAcquire wait state");
+            if !w.is_woken() {
+                w.park(waker_factory());
+                return None;
+            }
+            st.wait = None;
+            if self.permits.get() > 0 {
+                self.permits.set(self.permits.get() - 1);
+                return Some(SemPermit {
+                    sem: Rc::clone(self),
+                    live: true,
+                });
+            }
+            st.wait = Some(self.queue.wait());
+        }
+    }
+
     /// Currently free permits.
     pub fn available(&self) -> usize {
         self.permits.get()
@@ -559,6 +626,57 @@ impl Gate {
         while self.closed.get() {
             self.queue.wait().await;
         }
+    }
+
+    /// Poll-style [`Gate::pass`] for taskless state machines: `true` once
+    /// through the gate, `false` after parking a waker from
+    /// `waker_factory` (call again when it fires). Replicates the async
+    /// `while closed { wait().await }` loop — including re-registering
+    /// behind later arrivals if the gate closed again before the wake was
+    /// observed — and shares the same FIFO queue as async passers.
+    pub fn poll_pass(&self, st: &mut GatePass, waker_factory: &mut dyn FnMut() -> Waker) -> bool {
+        if let Some(w) = st.wait.as_ref() {
+            if !w.is_woken() {
+                w.park(waker_factory());
+                return false;
+            }
+            st.wait = None;
+        }
+        if !self.closed.get() {
+            return true;
+        }
+        let w = self.queue.wait();
+        w.park(waker_factory());
+        st.wait = Some(w);
+        false
+    }
+}
+
+/// In-flight state for [`Semaphore::poll_acquire`]; `Default` is the
+/// not-yet-started state. Dropping it mid-wait cancels the queue slot,
+/// exactly as dropping the async future would.
+#[derive(Default)]
+pub struct SemAcquire {
+    wait: Option<WaitFuture>,
+}
+
+impl SemAcquire {
+    /// Resets to the not-yet-started state for reuse by the next RPC.
+    pub fn reset(&mut self) {
+        self.wait = None;
+    }
+}
+
+/// In-flight state for [`Gate::poll_pass`]; see [`SemAcquire`].
+#[derive(Default)]
+pub struct GatePass {
+    wait: Option<WaitFuture>,
+}
+
+impl GatePass {
+    /// Resets to the not-yet-started state for reuse by the next RPC.
+    pub fn reset(&mut self) {
+        self.wait = None;
     }
 }
 

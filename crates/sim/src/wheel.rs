@@ -43,30 +43,51 @@ pub struct WheelEntry<T> {
 /// The wheel itself, generic over the payload so tests can model it
 /// with plain integers.
 ///
-/// Entries live by value in slab-style slot buffers: one flat
-/// `[[Vec; SLOTS]; LEVELS]` array (no per-level heap spine) whose `Vec`
-/// capacities are recycled through [`TimerWheel::scratch`] and
-/// [`TimerWheel::pending`] instead of being freed on every drain —
-/// steady-state operation performs no allocation at all once the
-/// circulating buffers have grown to the working set.
+/// Entries live in one slab (`entries` plus a `free` index list); each
+/// `slots[level][slot]` is just the head of an intrusive singly-linked
+/// chain through the slab's `next` fields. Pushing links an index,
+/// cascading relinks indices (no entry is moved or copied), and
+/// draining a level-0 slot collects indices into the reused
+/// [`TimerWheel::pending`] buffer — so once the slab and the two index
+/// buffers have grown to the working set, steady-state operation
+/// performs no allocation at all, no matter which slots the advancing
+/// horizon touches next. (The previous per-slot `Vec` storage recycled
+/// only one scratch buffer, so every first touch of a slot — and every
+/// capacity redistribution after a drain — still allocated.)
 pub struct TimerWheel<T> {
-    /// `slots[level][slot]` holds entries whose deadline maps there
-    /// relative to `horizon`.
-    slots: Box<[[Vec<WheelEntry<T>>; SLOTS]; LEVELS]>,
+    /// Slab of entry records; `free` lists the vacant indices.
+    entries: Vec<SlabEntry<T>>,
+    free: Vec<u32>,
+    /// `slots[level][slot]` holds the chain head (or [`NIL`]) of entries
+    /// whose deadline maps there relative to `horizon`.
+    slots: Box<[[u32; SLOTS]; LEVELS]>,
     /// Per-level occupancy bitmasks; bit `s` set iff `slots[level][s]`
     /// is non-empty.
     occupied: [u64; LEVELS],
+    /// Bit `l` set iff `occupied[l] != 0`, so the pop scan visits only
+    /// levels that hold timers (typically two or three of the eleven).
+    level_mask: u16,
     /// The wheel's position: no stored entry's deadline is below it.
     horizon: u64,
-    /// Entries of the currently expiring (level-0) slot, sorted by
+    /// Indices of the currently expiring (level-0) slot, sorted by
     /// *descending* `seq` and drained from the back (ascending `seq`),
     /// so draining is a pop with no element shifting.
-    pending: Vec<WheelEntry<T>>,
-    /// Recycled empty buffer left in a slot's place when the slot is
-    /// drained, so the slot's capacity survives the drain.
-    scratch: Vec<WheelEntry<T>>,
+    pending: Vec<u32>,
     /// Live entry count (stored + still pending).
     len: usize,
+}
+
+/// Chain terminator / vacant-slot marker.
+const NIL: u32 = u32::MAX;
+
+/// One slab record: a [`WheelEntry`] plus its chain link. The payload
+/// is an `Option` only so removal can move it out without unsafe code;
+/// stored entries always hold `Some`.
+struct SlabEntry<T> {
+    deadline: u64,
+    seq: u64,
+    next: u32,
+    payload: Option<T>,
 }
 
 impl<T> Default for TimerWheel<T> {
@@ -79,11 +100,13 @@ impl<T> TimerWheel<T> {
     /// Creates an empty wheel positioned at time zero.
     pub fn new() -> TimerWheel<T> {
         TimerWheel {
-            slots: Box::new(std::array::from_fn(|_| std::array::from_fn(|_| Vec::new()))),
+            entries: Vec::new(),
+            free: Vec::new(),
+            slots: Box::new([[NIL; SLOTS]; LEVELS]),
             occupied: [0; LEVELS],
+            level_mask: 0,
             horizon: 0,
             pending: Vec::new(),
-            scratch: Vec::new(),
             len: 0,
         }
     }
@@ -119,12 +142,16 @@ impl<T> TimerWheel<T> {
         ((deadline >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize
     }
 
-    fn store(&mut self, entry: WheelEntry<T>) {
-        debug_assert!(entry.deadline >= self.horizon, "timer below the horizon");
-        let level = Self::level_for(entry.deadline ^ self.horizon);
-        let slot = Self::slot_index(entry.deadline, level);
-        self.slots[level][slot].push(entry);
+    /// Links slab index `idx` into the slot its deadline maps to.
+    fn store(&mut self, idx: u32) {
+        let deadline = self.entries[idx as usize].deadline;
+        debug_assert!(deadline >= self.horizon, "timer below the horizon");
+        let level = Self::level_for(deadline ^ self.horizon);
+        let slot = Self::slot_index(deadline, level);
+        self.entries[idx as usize].next = self.slots[level][slot];
+        self.slots[level][slot] = idx;
         self.occupied[level] |= 1 << slot;
+        self.level_mask |= 1 << level;
     }
 
     /// Registers a timer.
@@ -132,11 +159,24 @@ impl<T> TimerWheel<T> {
     /// `deadline` must be at or after the last popped entry's deadline
     /// (simulated time never runs backwards).
     pub fn push(&mut self, deadline: u64, seq: u64, payload: T) {
-        self.store(WheelEntry {
+        let entry = SlabEntry {
             deadline,
             seq,
-            payload,
-        });
+            next: NIL,
+            payload: Some(payload),
+        };
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.entries[idx as usize] = entry;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.entries.len()).expect("timer slab overflow");
+                self.entries.push(entry);
+                idx
+            }
+        };
+        self.store(idx);
         self.len += 1;
     }
 
@@ -183,7 +223,10 @@ impl<T> TimerWheel<T> {
             // cascade first, since its slot may contain deadlines equal
             // to the lower level's (with earlier registration seqs).
             let mut best: Option<(u64, usize, usize)> = None;
-            for level in 0..LEVELS {
+            let mut lvls = self.level_mask;
+            while lvls != 0 {
+                let level = lvls.trailing_zeros() as usize;
+                lvls &= lvls - 1;
                 if let Some((start, slot)) = self.earliest_slot(level) {
                     match best {
                         Some((bs, _, _)) if bs < start => {}
@@ -192,42 +235,66 @@ impl<T> TimerWheel<T> {
                 }
             }
             let (start, level, slot) = best.expect("len > 0 but wheel empty");
-            // Claim the slot's entries wholesale, leaving the recycled
-            // scratch buffer (empty, capacity retained) in its place so
-            // the drain frees nothing and the next store reallocates
-            // nothing.
-            let mut entries = std::mem::replace(
-                &mut self.slots[level][slot],
-                std::mem::take(&mut self.scratch),
-            );
+            // Claim the slot's whole chain and advance; every stored
+            // entry fires at or after the slot's start.
+            let mut head = std::mem::replace(&mut self.slots[level][slot], NIL);
             self.occupied[level] &= !(1 << slot);
-            // Advancing to the slot's start is safe: every stored entry
-            // fires at or after it.
+            if self.occupied[level] == 0 {
+                self.level_mask &= !(1 << level);
+            }
             debug_assert!(start >= self.horizon);
             self.horizon = start;
             if level == 0 {
+                // Single-entry slot — the overwhelmingly common case at
+                // nanosecond granularity: return it without the pending
+                // buffer round trip (push, sort check, pop).
+                if self.entries[head as usize].next == NIL {
+                    let slot = &mut self.entries[head as usize];
+                    let entry = WheelEntry {
+                        deadline: slot.deadline,
+                        seq: slot.seq,
+                        payload: slot.payload.take().expect("stored entry has a payload"),
+                    };
+                    self.free.push(head);
+                    self.len -= 1;
+                    return Some(entry);
+                }
                 // One-nanosecond slot: every entry shares `start` as its
                 // deadline; seq order is the heap's tie-break. Descending
                 // sort so `take_pending` pops ascending from the back.
-                if entries.len() > 1 {
-                    entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
-                }
                 debug_assert!(self.pending.is_empty());
-                self.scratch = std::mem::replace(&mut self.pending, entries);
+                while head != NIL {
+                    self.pending.push(head);
+                    head = self.entries[head as usize].next;
+                }
+                if self.pending.len() > 1 {
+                    let entries = &self.entries;
+                    self.pending
+                        .sort_unstable_by_key(|&i| std::cmp::Reverse(entries[i as usize].seq));
+                }
                 return self.take_pending();
             }
-            // Cascade the whole slot in one pass: relative to the new
-            // horizon each entry's delta shrank below this level's span,
-            // so each lands strictly lower and the loop terminates.
-            for entry in entries.drain(..) {
-                self.store(entry);
+            // Cascade the whole chain in one relink pass: relative to the
+            // new horizon each entry's delta shrank below this level's
+            // span, so each lands strictly lower and the loop terminates.
+            // Payloads never move — only the `next` links change.
+            while head != NIL {
+                let next = self.entries[head as usize].next;
+                self.store(head);
+                head = next;
             }
-            self.scratch = entries;
         }
     }
 
     fn take_pending(&mut self) -> Option<WheelEntry<T>> {
-        let entry = self.pending.pop()?;
+        let idx = self.pending.pop()?;
+        let slot = &mut self.entries[idx as usize];
+        let entry = WheelEntry {
+            deadline: slot.deadline,
+            seq: slot.seq,
+            payload: slot.payload.take().expect("pending entry has a payload"),
+        };
+        self.free.push(idx);
         self.len -= 1;
         Some(entry)
     }

@@ -24,7 +24,7 @@ use std::collections::HashMap;
 use std::rc::Rc;
 
 use nfsperf_kernel::Kernel;
-use nfsperf_net::{DatagramPayload, Path};
+use nfsperf_net::{pool_copy, pool_put, DatagramPayload, Path};
 use nfsperf_sim::{select2, Counter, Either, Receiver, Semaphore, SimDuration, WaitQueue};
 use nfsperf_xdr::XdrEncode;
 
@@ -181,7 +181,7 @@ impl RpcXprt {
                     .cpus
                     .work("sock_sendmsg", self.kernel.costs.sock_sendmsg)
                     .await;
-                self.path.send(msg.clone());
+                self.path.send(pool_copy(&msg));
                 drop(guard);
             } else {
                 drop(guard);
@@ -189,7 +189,7 @@ impl RpcXprt {
                     .cpus
                     .work("sock_sendmsg", self.kernel.costs.sock_sendmsg)
                     .await;
-                self.path.send(msg.clone());
+                self.path.send(pool_copy(&msg));
             }
             msg
         };
@@ -211,13 +211,19 @@ impl RpcXprt {
             }
         };
         self.pending.borrow_mut().remove(&xid);
+        // The call message outlived its last (re)transmission; recycle it.
+        pool_put(msg);
         let payload = outcome?;
-        let (hdr, dec) = msg::decode_reply(&payload).map_err(|_| RpcError::Garbage)?;
-        if hdr.accept_stat != ACCEPT_SUCCESS {
-            return Err(RpcError::Rejected(hdr.accept_stat));
-        }
-        let at = dec.position();
-        Ok(payload[at..].to_vec())
+        let result = (|| {
+            let (hdr, dec) = msg::decode_reply(&payload).map_err(|_| RpcError::Garbage)?;
+            if hdr.accept_stat != ACCEPT_SUCCESS {
+                return Err(RpcError::Rejected(hdr.accept_stat));
+            }
+            let at = dec.position();
+            Ok(pool_copy(&payload[at..]))
+        })();
+        pool_put(payload);
+        result
     }
 
     async fn send_retransmit(&self, msg: &[u8]) {
@@ -227,13 +233,13 @@ impl RpcXprt {
                 .cpus
                 .work("sock_sendmsg", self.kernel.costs.sock_sendmsg)
                 .await;
-            self.path.send(msg.to_vec());
+            self.path.send(pool_copy(msg));
         } else {
             self.kernel
                 .cpus
                 .work("sock_sendmsg", self.kernel.costs.sock_sendmsg)
                 .await;
-            self.path.send(msg.to_vec());
+            self.path.send(pool_copy(msg));
         }
     }
 

@@ -15,6 +15,13 @@ cargo test -q --workspace --offline
 echo "==> cargo clippy --all-targets --workspace --offline -- -D warnings"
 cargo clippy --all-targets --workspace --offline -- -D warnings
 
+echo "==> zero-alloc steady state smoke (counting global allocator, release)"
+# The flyweight engine must retire RPCs without touching the heap once
+# warm: the counting allocator asserts two disjoint steady-state windows
+# allocate identically (and near zero). Run it in release so the test
+# exercises the same codegen as the benchmarks.
+cargo test -q --release --offline -p nfsperf-fleet --test zero_alloc
+
 echo "==> quickstart smoke run"
 out="$(cargo run -q --release --offline --example quickstart)"
 echo "$out"

@@ -551,6 +551,9 @@ fn cmd_bench(mut args: Args) -> Result<(), String> {
         SchedPolicy::classed_drr(),
     ];
     let mut report = BenchReport::new();
+    report.host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
     let mut job_counts = vec![1];
     if jobs > 1 {
         job_counts.push(jobs);
